@@ -1,0 +1,192 @@
+(* The locald command-line interface: regenerate the paper's results
+   table and figures from the library. *)
+
+open Cmdliner
+open Locald_core
+
+open Locald_core.Report
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller parameter sets (faster).")
+
+let run_cmd name doc print driver =
+  let run quick = print (driver ~quick ()) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_flag)
+
+let table1_cmd =
+  run_cmd "table1" "Regenerate the Section 1.1 results table." print_table1
+    (fun ~quick () -> Experiments.table1 ~quick ())
+
+let fig1_cmd =
+  run_cmd "fig1" "Regenerate Figure 1 (layered trees and view coverage)."
+    print_fig1
+    (fun ~quick () -> Experiments.fig1 ~quick ())
+
+let fig2_cmd =
+  run_cmd "fig2" "Regenerate Figure 2 (the G(M,r) construction)." print_fig2
+    (fun ~quick () -> Experiments.fig2 ~quick ())
+
+let fig3_cmd =
+  run_cmd "fig3" "Regenerate Figure 3 (the pyramid)." print_fig3
+    (fun ~quick () -> Experiments.fig3 ~quick ())
+
+let corollary1_cmd =
+  run_cmd "corollary1" "Regenerate the Corollary 1 experiment."
+    print_corollary1
+    (fun ~quick () -> Experiments.corollary1 ~quick ())
+
+let p3_cmd =
+  run_cmd "p3" "Measure the neighbourhood generator's (P3) coverage." print_p3
+    (fun ~quick () -> Experiments.p3 ~quick ())
+
+let diagonal_cmd =
+  run_cmd "diagonal" "Run the fuel diagonalisation against Id-oblivious candidates."
+    print_fuel_diagonal
+    (fun ~quick () -> Experiments.fuel_diagonal ~quick ())
+
+let construction_cmd =
+  run_cmd "construction" "Run the constructive-side experiments (CV, Luby, gossip)."
+    print_construction
+    (fun ~quick () -> Experiments.construction ~quick ())
+
+let oi_cmd =
+  run_cmd "oi" "Show that order-invariant algorithms also fail under (B)."
+    print_oi
+    (fun ~quick () -> Experiments.order_invariance ~quick ())
+
+let hereditary_cmd =
+  run_cmd "hereditary" "Check hereditariness of the witness properties."
+    print_hereditary
+    (fun ~quick () -> Experiments.hereditary ~quick ())
+
+let warmups_cmd =
+  run_cmd "warmups" "Run the warm-up promise-problem experiments."
+    print_warmups
+    (fun ~quick () -> Experiments.warmups ~quick ())
+
+(* ------------------------------------------------------------------ *)
+(* Inspection subcommands                                              *)
+(* ------------------------------------------------------------------ *)
+
+let machine_arg =
+  let parse s =
+    match s with
+    | "walk" -> Ok (`Walk : [ `Walk | `Twofaced | `Zigzag | `Counter ])
+    | "twofaced" -> Ok `Twofaced
+    | "zigzag" -> Ok `Zigzag
+    | "counter" -> Ok `Counter
+    | _ -> Error (`Msg "machine must be walk | twofaced | zigzag | counter")
+  in
+  let print ppf m =
+    Fmt.string ppf
+      (match m with
+      | `Walk -> "walk"
+      | `Twofaced -> "twofaced"
+      | `Zigzag -> "zigzag"
+      | `Counter -> "counter")
+  in
+  Arg.conv (parse, print)
+
+let machine_of kind ~steps ~output =
+  match kind with
+  | `Walk -> Locald_turing.Zoo.walk ~steps ~output
+  | `Twofaced -> Locald_turing.Zoo.two_faced ~steps ~real:output ~fake:(1 - output)
+  | `Zigzag -> Locald_turing.Zoo.zigzag ~half:(max 1 steps) ~output
+  | `Counter -> Locald_turing.Zoo.binary_counter ~bits:(max 1 steps)
+
+let gmr_cmd =
+  let run kind steps output r cap dot =
+    let machine = machine_of kind ~steps ~output in
+    let config = { (Gmr.default_config ~r) with Gmr.fragment_cap = cap } in
+    match Gmr.build ~config ~r machine with
+    | Error _ ->
+        prerr_endline "machine did not halt within the configured fuel";
+        exit 1
+    | Ok t ->
+        Printf.printf
+          "G(%s, %d): %d nodes, %d edges; table %dx%d; steps=%d output=%d; \
+           %d fragments%s; local rules: %s\n"
+          machine.Locald_turing.Machine.name r (Gmr.order t) (Gmr.size t)
+          t.Gmr.table_side t.Gmr.table_side t.Gmr.steps t.Gmr.output
+          (List.length t.Gmr.fragments)
+          (if t.Gmr.truncated then " (enumeration capped)" else "")
+          (match Gmr_check.first_violation t.Gmr.lg with
+          | None -> "pass"
+          | Some (v, reason) -> Printf.sprintf "FAIL at %d (%s)" v reason);
+        if dot then
+          print_string
+            (Locald_graph.Dot.of_labelled ~pp_label:Gmr.pp_label t.Gmr.lg)
+  in
+  let steps =
+    Arg.(value & opt int 3 & info [ "steps" ] ~doc:"Machine size parameter.")
+  in
+  let output =
+    Arg.(value & opt int 0 & info [ "output" ] ~doc:"Machine output (0 or 1).")
+  in
+  let r = Arg.(value & opt int 1 & info [ "r" ] ~doc:"Locality parameter r.") in
+  let cap =
+    Arg.(value & opt int 200 & info [ "cap" ] ~doc:"Fragment enumeration cap.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit the graph in DOT form.") in
+  let kind =
+    Arg.(
+      value
+      & opt machine_arg `Twofaced
+      & info [ "machine" ] ~doc:"Zoo machine: walk | twofaced | zigzag | counter.")
+  in
+  Cmd.v
+    (Cmd.info "gmr" ~doc:"Build and inspect a G(M,r) instance.")
+    Term.(const run $ kind $ steps $ output $ r $ cap $ dot)
+
+let coverage_cmd =
+  let run arity r t =
+    let regime = Locald_local.Ids.f_linear_plus 1 in
+    let p = { Tree_instances.regime; arity; r } in
+    let c = Tree_deciders.coverage p ~t in
+    Printf.printf
+      "coverage (arity=%d, r=%d, t=%d, R(r)=%d): %d/%d view classes of T_r \
+       occur in H_r%s\n"
+      arity r t (Tree_instances.depth p) c.Tree_deciders.covered
+      c.Tree_deciders.total_views
+      (match c.Tree_deciders.uncovered_node with
+      | None -> ""
+      | Some v -> Printf.sprintf " (uncovered witness: node %d)" v)
+  in
+  let arity = Arg.(value & opt int 1 & info [ "arity" ] ~doc:"Tree arity.") in
+  let r = Arg.(value & opt int 4 & info [ "r" ] ~doc:"Cone depth r.") in
+  let t = Arg.(value & opt int 1 & info [ "t" ] ~doc:"View radius t.") in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Measure Figure 1's view coverage for chosen parameters.")
+    Term.(const run $ arity $ r $ t)
+
+let all_cmd =
+  let run quick =
+    print_table1 (Experiments.table1 ~quick ());
+    print_fig1 (Experiments.fig1 ~quick ());
+    print_fig2 (Experiments.fig2 ~quick ());
+    print_fig3 (Experiments.fig3 ~quick ());
+    print_corollary1 (Experiments.corollary1 ~quick ());
+    print_p3 (Experiments.p3 ~quick ());
+    print_fuel_diagonal (Experiments.fuel_diagonal ~quick ());
+    print_construction (Experiments.construction ~quick ());
+    print_oi (Experiments.order_invariance ~quick ());
+    print_hereditary (Experiments.hereditary ~quick ());
+    print_warmups (Experiments.warmups ~quick ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") Term.(const run $ quick_flag)
+
+let main =
+  let doc =
+    "Reproduction of `What can be decided locally without identifiers?' \
+     (Fraigniaud, G\xC3\xB6\xC3\xB6s, Korman, Suomela; PODC 2013)"
+  in
+  Cmd.group
+    (Cmd.info "locald" ~version:"1.0.0" ~doc)
+    [
+      table1_cmd; fig1_cmd; fig2_cmd; fig3_cmd; corollary1_cmd; p3_cmd;
+      diagonal_cmd; oi_cmd; hereditary_cmd; construction_cmd; warmups_cmd;
+      gmr_cmd; coverage_cmd; all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cycle_promise_demo.ml: Cycle_promise Decider Format Ids List Locald_core Locald_decision Locald_local Random

@@ -1,0 +1,1 @@
+examples/halting_separation.ml: Exec Format Gmr Gmr_check Gmr_deciders Ids List Locald_core Locald_decision Locald_local Locald_turing Machine Printf Random Verdict Zoo

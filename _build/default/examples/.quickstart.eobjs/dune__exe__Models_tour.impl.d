@@ -1,0 +1,1 @@
+examples/models_tour.ml: Algorithm Array Format Gen Graph Ids Iso Labelled List Locald_graph Locald_local Models Random Runner View

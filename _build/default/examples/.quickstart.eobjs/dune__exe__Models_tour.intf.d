@@ -1,0 +1,1 @@
+examples/models_tour.mli:

@@ -1,0 +1,1 @@
+examples/nld_demo.ml: Format Gen Iso Labelled List Locald_decision Locald_graph Nondeterministic Random Verdict View

@@ -1,0 +1,1 @@
+examples/nld_demo.mli:

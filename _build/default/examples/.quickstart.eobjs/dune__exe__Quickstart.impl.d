@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithm Array Decider Format Gen Graph Ids Labelled Locald_decision Locald_graph Locald_local Property Random Runner Verdict View

@@ -1,0 +1,1 @@
+examples/randomized_decider_demo.ml: Format Gmr Gmr_deciders List Locald_core Locald_decision Locald_turing Machine Random Randomized_decider Zoo

@@ -1,0 +1,1 @@
+examples/randomized_decider_demo.mli:

@@ -1,0 +1,1 @@
+examples/symmetry_breaking.ml: Format Gen Ids Iso Labelled List Locald_graph Locald_local Protocol Random Symmetry View

@@ -1,0 +1,1 @@
+examples/symmetry_breaking.mli:

@@ -1,0 +1,1 @@
+examples/tree_separation.ml: Decider Format Ids List Locald_core Locald_decision Locald_graph Locald_local Printf Random Tree_deciders Tree_instances Verdict

@@ -1,0 +1,43 @@
+(* Section 2 warm-up: bounded identifiers leak the network size.
+
+   Under assumption (B) every identifier is below f(n). On an r-cycle
+   all identifiers are therefore < f(r), while a larger cycle must,
+   by pigeonhole, contain an identifier >= f(r). A radius-0 decider
+   exploits the leak; an Id-oblivious algorithm sees identical views
+   on both cycles and cannot.
+
+   Run with: dune exec examples/cycle_promise_demo.exe *)
+
+open Locald_core
+open Locald_local
+open Locald_decision
+
+let () =
+  let regime = Ids.f_linear_plus 1 in
+  let rng = Random.State.make [| 1 |] in
+  Format.printf "== Section 2 warm-up: the cycle promise problem ==@.";
+  List.iter
+    (fun r ->
+      let yes = Cycle_promise.yes_instance ~r in
+      let no = Cycle_promise.no_instance ~regime ~r in
+      let decider = Cycle_promise.ld_decider ~regime in
+      let eval expected name lg =
+        let e =
+          Decider.evaluate ~rng ~regime ~assignments:80 decider ~expected
+            ~instance:name lg
+        in
+        Format.printf "  %a@." Decider.pp_evaluation e
+      in
+      Format.printf "r = %d (yes: %d-cycle, no: %d-cycle)@." r
+        (Cycle_promise.small_length ~r)
+        (Cycle_promise.large_length ~regime ~r);
+      eval true "r-cycle (yes)" yes;
+      eval false "large cycle (no)" no;
+      Format.printf
+        "  oblivious blind spot: all radius-1 views mutually isomorphic: %b@."
+        (Cycle_promise.views_mutually_covered ~regime ~r ~t:1))
+    [ 4; 8; 16; 32 ];
+  Format.printf
+    "@.An Id-oblivious decider must answer identically on both cycles —@.";
+  Format.printf
+    "accepting the yes-instance forces it to accept the no-instance.@."

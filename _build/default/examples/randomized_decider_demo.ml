@@ -1,0 +1,43 @@
+(* Corollary 1: randomness substitutes for identifiers.
+
+   An Id-oblivious algorithm cannot learn n, but each node can toss
+   coins until the first head (l_v tosses) and set n_v := 4^(l_v);
+   with probability 1 - (1 - 1/sqrt n)^n = 1 - o(1) some node gets
+   n_v >= n, enough fuel to finish simulating M. The property P of
+   Section 3 thus admits an Id-oblivious (1, 1-o(1))-decider.
+
+   Run with: dune exec examples/randomized_decider_demo.exe *)
+
+open Locald_core
+open Locald_turing
+open Locald_decision
+
+let () =
+  Format.printf "== Corollary 1: the randomised Id-oblivious decider ==@.";
+  let rng = Random.State.make [| 4 |] in
+  let decider = Gmr_deciders.corollary1_decider () in
+  let runs = 40 in
+  List.iter
+    (fun (m, expected) ->
+      match Gmr.build ~r:1 m with
+      | Error _ -> ()
+      | Ok t ->
+          let est =
+            Randomized_decider.estimate ~rng ~runs ~oblivious:true decider
+              ~ids:None ~expected ~instance:m.Machine.name t.Gmr.lg
+          in
+          let n = Gmr.order t in
+          let bound =
+            1.0 -. ((1.0 -. (1.0 /. sqrt (float_of_int n))) ** float_of_int n)
+          in
+          Format.printf "  %a   (paper bound for no-instances: >= %.4f)@."
+            Randomized_decider.pp est bound)
+    [
+      (Zoo.two_faced ~steps:2 ~real:0 ~fake:1, true);
+      (Zoo.two_faced ~steps:2 ~real:1 ~fake:0, false);
+      (Zoo.walk ~steps:4 ~output:1, false);
+    ];
+  Format.printf
+    "@.Yes-instances are always accepted (one-sided error); no-instances are@.";
+  Format.printf
+    "rejected whenever some node draws enough fuel — w.h.p. as n grows.@."

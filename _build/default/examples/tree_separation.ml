@@ -1,0 +1,85 @@
+(* Section 2, promise-free: the layered-tree property P (Figure 1).
+
+   P consists of the "small" instances H+ (a depth-r layered-tree cone
+   plus a pivot seeing its whole border); P' also contains the "large"
+   layered trees T_r of depth R(r) = f(|H+| + 1).
+
+   - P' is decidable without identifiers (structure checking);
+   - P is decidable with identifiers (reject anyone with Id >= R(r));
+   - P is NOT decidable without identifiers: every local view of T_r
+     already occurs inside some small instance.
+
+   Run with: dune exec examples/tree_separation.exe *)
+
+open Locald_core
+open Locald_local
+open Locald_decision
+module Ti = Tree_instances
+
+let () =
+  let regime = Ids.f_linear_plus 1 in
+  let p = { Ti.regime; arity = 2; r = 1 } in
+  let rng = Random.State.make [| 2 |] in
+  Format.printf "== Section 2: the layered-tree separation ==@.";
+  Format.printf "parameters: arity 2, r = %d, f(n) = n+1, R(r) = %d@." p.Ti.r
+    (Ti.depth p);
+  let tr = Ti.big_tree p in
+  Format.printf "T_r has %d nodes; H_r contains %d small instances@."
+    (Locald_graph.Labelled.order tr)
+    (List.length (Ti.apexes p));
+
+  (* 1. P' in LD*: the Id-oblivious verifier. *)
+  let verifier = Tree_deciders.pprime_verifier p in
+  Format.printf "@.[P' in LD*] Id-oblivious structure verifier:@.";
+  Format.printf "  accepts T_r:                 %a@." Verdict.pp
+    (Decider.decide_oblivious verifier tr);
+  let apex = (1, 2) in
+  Format.printf "  accepts H+ at apex (1,2):    %a@." Verdict.pp
+    (Decider.decide_oblivious verifier (Ti.small_instance p ~apex));
+  Format.printf "  rejects cone without pivot:  %a@." Verdict.pp
+    (Decider.decide_oblivious verifier (Ti.cone_without_pivot p ~apex));
+  Format.printf "  rejects doubled pivot:       %a@." Verdict.pp
+    (Decider.decide_oblivious verifier (Ti.two_pivots p ~apex));
+  Format.printf "  rejects truncated tree:      %a@." Verdict.pp
+    (Decider.decide_oblivious verifier (Ti.truncated_tree p ~keep_depth:3));
+
+  (* 2. P in LD: identifiers reject the large instance. *)
+  let decider = Tree_deciders.p_decider p in
+  Format.printf "@.[P in LD] decider with identifiers (threshold R(r) = %d):@."
+    (Ti.depth p);
+  let eval expected name lg =
+    let e =
+      Decider.evaluate ~rng ~regime ~assignments:60 decider ~expected
+        ~instance:name lg
+    in
+    Format.printf "  %a@." Decider.pp_evaluation e
+  in
+  eval false "T_r (no-instance)" tr;
+  eval true "H+ (yes-instance)" (Ti.small_instance p ~apex);
+
+  (* 3. P not in LD*: view coverage. *)
+  Format.printf "@.[P not in LD*] view coverage of T_r by H_r:@.";
+  let c0 = Tree_deciders.coverage p ~t:0 in
+  Format.printf "  arity 2, t = 0: %d/%d view classes covered@."
+    c0.Tree_deciders.covered c0.Tree_deciders.total_views;
+  let p1 = { Ti.regime; arity = 1; r = 6 } in
+  let c1 = Tree_deciders.coverage p1 ~t:1 in
+  Format.printf "  arity 1 (linear-size variant), r = 6, t = 1: %d/%d covered@."
+    c1.Tree_deciders.covered c1.Tree_deciders.total_views;
+  let cbad = Tree_deciders.coverage { p1 with Ti.r = 3 } ~t:1 in
+  Format.printf "  arity 1, r = 3 < 2t+2: %d/%d covered (gap: r must dwarf t)@."
+    cbad.Tree_deciders.covered cbad.Tree_deciders.total_views;
+
+  (* 4. The generic simulation A* fails for every budget. *)
+  Format.printf "@.[why (B) kills the simulation] budgeted A* on P:@.";
+  let rr = Ti.depth p in
+  let describe = function
+    | Tree_deciders.Rejects_small (x, y) ->
+        Printf.sprintf "rejects the yes-instance H+ at apex (%d,%d)" x y
+    | Tree_deciders.Accepts_large -> "accepts the no-instance T_r"
+    | Tree_deciders.No_failure_found -> "no failure found"
+  in
+  Format.printf "  search budget %d (> R): %s@." (2 * rr)
+    (describe (Tree_deciders.budgeted_a_star p ~budget:(2 * rr) ~trials:64));
+  Format.printf "  search budget %d (<= R): %s@." rr
+    (describe (Tree_deciders.budgeted_a_star p ~budget:rr ~trials:64))

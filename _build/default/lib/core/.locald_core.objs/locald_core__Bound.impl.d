@@ -1,0 +1,1 @@
+lib/core/bound.ml: Ids Locald_graph Locald_local

@@ -1,0 +1,1 @@
+lib/core/bound.mli: Ids Locald_local

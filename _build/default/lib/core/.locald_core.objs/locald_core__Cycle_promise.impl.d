@@ -1,0 +1,1 @@
+lib/core/cycle_promise.ml: Algorithm Gen Graph Ids Iso Labelled List Locald_decision Locald_graph Locald_local Promise Property View

@@ -1,0 +1,1 @@
+lib/core/cycle_promise.mli: Algorithm Ids Labelled Locald_decision Locald_graph Locald_local Promise

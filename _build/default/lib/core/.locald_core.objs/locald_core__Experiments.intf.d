@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Ids Locald_local

@@ -1,0 +1,1 @@
+lib/core/gmr.ml: Array Cell Exec Format Fragment Fun Graph Hashtbl Iso Labelled List Locald_graph Locald_turing Machine Option Printf Quadtree Table View

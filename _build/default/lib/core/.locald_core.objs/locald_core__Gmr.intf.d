@@ -1,0 +1,1 @@
+lib/core/gmr.mli: Cell Exec Format Fragment Labelled Locald_graph Locald_turing Machine Quadtree View

@@ -1,0 +1,1 @@
+lib/core/gmr_check.ml: Array Cell Format Gmr Graph Grid Iso Labelled List Locald_graph Locald_turing Option Quadtree Rules View

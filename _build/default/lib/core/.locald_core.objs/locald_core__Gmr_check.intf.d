@@ -1,0 +1,1 @@
+lib/core/gmr_check.mli: Gmr Labelled Locald_graph View

@@ -1,0 +1,1 @@
+lib/core/gmr_deciders.ml: Algorithm Array Cell Exec Gmr Gmr_check Graph Ids Labelled List Locald_decision Locald_graph Locald_local Locald_turing Printf Property Randomized Verdict View

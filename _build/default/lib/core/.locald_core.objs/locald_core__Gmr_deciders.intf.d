@@ -1,0 +1,1 @@
+lib/core/gmr_deciders.mli: Algorithm Gmr Ids Locald_decision Locald_graph Locald_local Locald_turing Machine Property Random Randomized Verdict

@@ -1,0 +1,1 @@
+lib/core/tm_promise.ml: Algorithm Array Exec Gen Gmr_deciders Graph Labelled Locald_decision Locald_graph Locald_local Locald_turing Machine Printf Promise View Zoo

@@ -1,0 +1,1 @@
+lib/core/tm_promise.mli: Algorithm Labelled Locald_decision Locald_graph Locald_local Locald_turing Machine Promise

@@ -1,0 +1,1 @@
+lib/core/tree_deciders.ml: Algorithm Array Bound Decider Fun Graph Hashtbl Iso Labelled Layered_tree List Locald_decision Locald_graph Locald_local Option Simulation Tree_instances Verdict View

@@ -1,0 +1,1 @@
+lib/core/tree_deciders.mli: Algorithm Locald_local Tree_instances

@@ -1,0 +1,1 @@
+lib/core/tree_instances.ml: Array Bound Format Graph Hashtbl Labelled Layered_tree List Locald_graph Locald_local

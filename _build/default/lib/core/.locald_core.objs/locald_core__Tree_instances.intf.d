@@ -1,0 +1,1 @@
+lib/core/tree_instances.mli: Format Ids Labelled Layered_tree Locald_graph Locald_local

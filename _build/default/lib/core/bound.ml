@@ -1,0 +1,24 @@
+open Locald_local
+
+let tree_size ~arity ~depth = Locald_graph.Layered_tree.order ~arity ~depth
+
+let small_max_size ~arity ~r = tree_size ~arity ~depth:r + 1
+
+let bound_f regime =
+  match regime with
+  | Ids.Unbounded ->
+      invalid_arg "Bound.big_r: R(r) only exists under bounded identifiers (B)"
+  | Ids.Bounded { f; _ } -> f
+
+let big_r ~regime ~arity ~r =
+  let f = bound_f regime in
+  f (small_max_size ~arity ~r + 1)
+
+let pigeonhole_holds ~regime ~arity ~r =
+  let f = bound_f regime in
+  let rr = big_r ~regime ~arity ~r in
+  (* (i) ids on small instances stay below R(r): monotone f suffices. *)
+  let small_ok = f (small_max_size ~arity ~r) <= rr in
+  (* (ii) T_r has order > R(r), so max id >= order - 1 >= R(r). *)
+  let big_ok = tree_size ~arity ~depth:rr > rr in
+  small_ok && big_ok

@@ -1,0 +1,28 @@
+(** The depth bound [R(r)] of Section 2.
+
+    Under regime [(B)] with bound function [f], the small instances
+    [H+ in H_r] have at most [small_max_size] nodes, so all their
+    identifiers are below [f small_max_size <= R(r)]; the large
+    instance [T_r] (depth [R(r)]) has more than [R(r)] nodes, so some
+    identifier reaches [R(r)] by pigeonhole. These two facts are the
+    whole Section 2 separation; {!pigeonhole_holds} checks them for
+    concrete parameters. *)
+
+open Locald_local
+
+val tree_size : arity:int -> depth:int -> int
+(** Nodes of a complete [arity]-ary layered tree of the given depth. *)
+
+val small_max_size : arity:int -> r:int -> int
+(** Maximum order of a small instance: a depth-[r] layered tree plus
+    its pivot. *)
+
+val big_r : regime:Ids.regime -> arity:int -> r:int -> int
+(** [R(r) = f (small_max_size + 1)] — the depth of the large instance
+    [T_r].
+    @raise Invalid_argument under [Unbounded] (no [R] exists: that is
+    why the construction only works under (B)). *)
+
+val pigeonhole_holds : regime:Ids.regime -> arity:int -> r:int -> bool
+(** (i) every valid assignment on a small instance stays below [R(r)];
+    (ii) every valid assignment on [T_r] reaches [R(r)] somewhere. *)

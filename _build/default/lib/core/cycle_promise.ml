@@ -1,0 +1,50 @@
+open Locald_graph
+open Locald_local
+open Locald_decision
+
+let small_length ~r =
+  if r < 3 then invalid_arg "Cycle_promise: r must be >= 3 (cycles)";
+  r
+
+let f_of = function
+  | Ids.Unbounded -> invalid_arg "Cycle_promise: needs a bounded regime (B)"
+  | Ids.Bounded { f; _ } -> f
+
+let large_length ~regime ~r = (f_of regime) r + 1
+
+let labelled_cycle n r = Labelled.const (Gen.cycle n) r
+
+let yes_instance ~r = labelled_cycle (small_length ~r) r
+
+let no_instance ~regime ~r = labelled_cycle (large_length ~regime ~r) r
+
+let read_r lg = Labelled.label lg 0
+
+let promise ~regime =
+  Promise.make ~name:"cycle-promise"
+    ~promise:(fun lg ->
+      let g = Labelled.graph lg in
+      Graph.is_cycle g
+      && Property.all_equal.Property.mem lg
+      &&
+      let r = read_r lg in
+      r >= 3
+      && (Graph.order g = small_length ~r || Graph.order g = large_length ~regime ~r))
+    ~mem:(fun lg -> Graph.order (Labelled.graph lg) = read_r lg)
+
+let ld_decider ~regime =
+  let f = f_of regime in
+  Algorithm.make ~name:"cycle-threshold" ~radius:0 (fun view ->
+      let r = View.center_label view in
+      View.center_id view < f r)
+
+let views_of lg ~t =
+  List.init (Labelled.order lg) (fun v -> View.extract lg ~center:v ~radius:t)
+
+let views_mutually_covered ~regime ~r ~t =
+  let a = views_of (yes_instance ~r) ~t in
+  let b = views_of (no_instance ~regime ~r) ~t in
+  let covered xs ys =
+    List.for_all (fun x -> List.exists (Iso.views_isomorphic ( = ) x) ys) xs
+  in
+  covered a b && covered b a

@@ -1,0 +1,40 @@
+(** The Section 2 warm-up promise problem: cycles whose constant input
+    label [r] promises that the cycle length is either [r] (yes) or
+    large (no). Identifiers leak [n] under (B), so a radius-0 decider
+    with identifiers separates the two, while all views of both
+    instances are pairwise isomorphic for an Id-oblivious algorithm.
+
+    Implementation note (documented deviation): the paper takes the
+    large cycle to have exactly [f r] nodes, but [n = f r] only
+    guarantees an identifier [>= f r - 1], which a valid [r]-cycle
+    assignment can also attain — the threshold test needs a gap. We
+    use [n = f r + 1], which guarantees a node with identifier
+    [>= f r], impossible on the [r]-cycle. The paper's main
+    construction is immune to this off-by-one because the large
+    instance there is doubly exponentially bigger. *)
+
+open Locald_graph
+open Locald_local
+open Locald_decision
+
+val small_length : r:int -> int
+val large_length : regime:Ids.regime -> r:int -> int
+
+val yes_instance : r:int -> int Labelled.t
+(** The [r]-cycle, every node labelled [r]. Requires [r >= 3]. *)
+
+val no_instance : regime:Ids.regime -> r:int -> int Labelled.t
+(** The [large_length]-cycle, every node labelled [r]. *)
+
+val promise : regime:Ids.regime -> int Promise.t
+
+val ld_decider : regime:Ids.regime -> (int, bool) Algorithm.t
+(** Radius-0: a node says no iff its own identifier is [>= f r] —
+    correct under the promise for every assignment valid under the
+    regime. *)
+
+val views_mutually_covered : regime:Ids.regime -> r:int -> t:int -> bool
+(** Every radius-[t] identifier-free view of either instance occurs in
+    the other (up to rooted isomorphism) — the obstruction that defeats
+    every Id-oblivious decider at horizon [t]. Holds whenever
+    [r >= 2t + 2]. *)

@@ -1,0 +1,172 @@
+(** Experiment drivers regenerating the paper's results table and
+    figures. Each driver returns printable records; the [locald] CLI
+    and the benchmark harness render them. [quick] shrinks parameter
+    sets for use in tests.
+
+    See DESIGN.md (experiment index) for the mapping to the paper. *)
+
+open Locald_local
+
+(** {1 T1 — the Section 1.1 results table} *)
+
+type cell_result = {
+  cell : string;        (** e.g. "(B, C)" *)
+  relation : string;    (** "LD* <> LD" or "LD* = LD" *)
+  evidence : (string * bool) list;
+      (** named checks; all must hold for the cell's claim *)
+}
+
+val table1 : ?quick:bool -> unit -> cell_result list
+
+val cell_bc : regime:Ids.regime -> quick:bool -> name:string -> cell_result
+(** The two (B, -) separations, parametric in the bound function — pass a
+    computable regime for (B, C) and the oracle regime for (B, notC). *)
+
+val cell_nbc : quick:bool -> cell_result
+(** The (notB, C) separation via the Section 3 construction. *)
+
+val cell_nbnc : quick:bool -> cell_result
+(** The (notB, notC) equality via the Id-oblivious simulation [A*]. *)
+
+(** {1 F1 — Figure 1 (layered trees and view coverage)} *)
+
+type fig1_row = {
+  arity : int;
+  r : int;
+  t : int;
+  depth : int;           (** [R(r)] *)
+  tree_nodes : int;      (** order of [T_r] *)
+  small_instances : int; (** |H_r| *)
+  covered : int;
+  total : int;
+  expected_full : bool;  (** does the theory predict full coverage? *)
+}
+
+val fig1 : ?quick:bool -> unit -> fig1_row list
+
+(** {1 F2 — Figure 2 (the G(M,r) construction)} *)
+
+type fig2_row = {
+  machine : string;
+  steps : int;
+  output : int;
+  table_side : int;
+  fragments : int;
+  fake_windows : int;   (** glued fragments showing a non-[output] halt *)
+  nodes : int;
+  edges : int;
+  rules_ok : bool;      (** local rules pass everywhere *)
+}
+
+val fig2 : ?quick:bool -> unit -> fig2_row list
+
+(** {1 F3 — Figure 3 (the pyramid)} *)
+
+type fig3_row = {
+  h : int;
+  side : int;
+  nodes : int;
+  pyramid_overhead : float;  (** nodes / side^2 *)
+  grid_diameter : int;
+  pyramid_diameter : int;
+  genuine_ok : bool;         (** quadtree rules pass on the pyramid *)
+  torus_rejected : bool;     (** a torus counterfeit violates them *)
+}
+
+val fig3 : ?quick:bool -> unit -> fig3_row list
+
+(** {1 C1 — Corollary 1 (randomised Id-oblivious decider)} *)
+
+type corollary1_row = {
+  machine : string;
+  n : int;
+  expected : bool;
+  runs : int;
+  success : float;
+  theory_bound : float;
+      (** [1 - (1 - 1/sqrt n)^n], the paper's lower bound on the
+          rejection probability for no-instances (1.0 for
+          yes-instances) *)
+}
+
+val corollary1 : ?quick:bool -> unit -> corollary1_row list
+
+(** {1 P3 — the neighbourhood generator's coverage (property (P3))} *)
+
+type p3_row = {
+  machine : string;
+  halts_in_window : bool;
+  g_classes : int;       (** distinct view classes of [G(M,r)] *)
+  b_classes : int;       (** distinct view classes output by [B(M,r)] *)
+  g_covered_by_b : int;  (** how many G-classes occur in B *)
+  b_covered_by_g : int;
+}
+
+val p3 : ?quick:bool -> unit -> p3_row list
+(** For machines halting inside the generator's window, [B(N,r)] must
+    equal the view set of [G(N,r)] — measured here in both
+    directions. *)
+
+(** {1 D — the fuel diagonalisation (why no Id-oblivious candidate works)} *)
+
+type diagonal_row = {
+  fuel : int;              (** the candidate's simulation budget *)
+  fooling_machine : string;
+  fooled : bool;
+      (** the candidate accepts the no-instance [G(M,r)] of a machine
+          halting with output 1 just beyond its fuel *)
+  honest_on_fast : bool;
+      (** ... while being correct on machines within its fuel *)
+}
+
+val fuel_diagonal : ?quick:bool -> unit -> diagonal_row list
+
+(** {1 K — the constructive side (Section 1.3 context)} *)
+
+type construction_row = {
+  task : string;
+  n : int;
+  ok : bool;
+  rounds : int;
+  messages : int;
+}
+
+val construction : ?quick:bool -> unit -> construction_row list
+(** Identifiers/coins as symmetry breakers: Cole-Vishkin iteration
+    counts stay log*-flat as n grows, Luby's MIS terminates in few
+    rounds, and the gossip engine's message count is metered. *)
+
+(** {1 OI — order-invariant algorithms (the Section 1.3 middle model)} *)
+
+type oi_row = { check : string; ok : bool }
+
+val order_invariance : ?quick:bool -> unit -> oi_row list
+(** Identifiers help the Section 2 decider only through magnitude:
+    the decider is demonstrably not order-invariant, and its
+    rank-normalised OI version wrongly accepts [T_r] — so the
+    separation also splits OI from LD under (B). *)
+
+(** {1 H — hereditariness (the Related-Work contrast)} *)
+
+type hereditary_row = {
+  property_name : string;
+  instance : string;
+  hereditary_looking : bool;
+  expected_hereditary : bool;
+}
+
+val hereditary : ?quick:bool -> unit -> hereditary_row list
+(** [LD* = LD] was known for hereditary languages; the witness
+    properties of both separations are demonstrably non-hereditary,
+    and the stock hereditary property shows the test's other side. *)
+
+(** {1 W2 / W3 — the warm-up promise problems} *)
+
+type warmup_row = {
+  problem : string;
+  setting : string;
+  check : string;
+  ok : bool;
+}
+
+val warmups : ?quick:bool -> unit -> warmup_row list

@@ -1,0 +1,41 @@
+(** Local decidability of [G(M, r)] — the verification of Appendix A
+    made executable.
+
+    {!violations} is the radius-2 rule set each node evaluates:
+    pyramid structure (via {!Locald_graph.Quadtree.inspect}), grid
+    orientation and parent coherence, execution-window consistency
+    (with head entries allowed at fragment borders), gluing-edge and
+    pivot rules. It is sound on genuine instances (no violations
+    anywhere — tested) and rejects the structural counterfeits the
+    paper worries about (tested); like the paper's step 5 it leans on
+    the pivot for the checks that are not radius-2 (we additionally
+    expose {!global_check}, the exact ground truth used as the
+    property's membership predicate).
+
+    The rules are deliberately evaluated through a {!View.t}
+    so that algorithms built on them are honest radius-2 local
+    algorithms. *)
+
+open Locald_graph
+
+val violations_in : Gmr.label Labelled.t -> int -> string list
+(** Rule violations at a node, reading only radius-2 information. *)
+
+val violations_view : Gmr.label View.t -> string list
+(** The same rules evaluated at the centre of a radius-2 view. *)
+
+val structure_ok : Gmr.t -> bool
+(** No node of the built instance violates any local rule. *)
+
+val structure_array : Gmr.label Labelled.t -> bool array
+(** Per-node rule results for the whole graph, computed in one pass
+    with shared memoisation — the fast path used by
+    {!Gmr_deciders.Fast}. Agrees pointwise with {!violations_in}
+    (tested). *)
+
+val first_violation : Gmr.label Labelled.t -> (int * string) option
+
+val global_check : r:int -> config:Gmr.config -> Gmr.label Labelled.t -> bool
+(** Exact (non-local) membership: the graph is label-isomorphic to the
+    construction [G(M, r)] rebuilt from the machine found in its own
+    labels. *)

@@ -1,0 +1,143 @@
+open Locald_graph
+open Locald_turing
+open Locald_local
+open Locald_decision
+
+let simulation_cap = 100_000
+
+let structure_verifier () =
+  Algorithm.make_oblivious ~name:"Gmr-structure" ~radius:2 (fun view ->
+      Gmr_check.violations_view view = [])
+
+let halts_with_nonzero machine ~fuel =
+  match Exec.run ~fuel machine with
+  | Exec.Halted { output; _ } -> output <> 0
+  | Exec.Out_of_fuel _ | Exec.Crashed _ -> false
+
+let ld_decider () =
+  let structure = structure_verifier () in
+  Algorithm.make ~name:"Gmr-LD-decider" ~radius:2 (fun (view : Gmr.label View.t) ->
+      let machine = (View.center_label view).Gmr.machine in
+      let fuel = min (View.center_id view) simulation_cap in
+      structure.Algorithm.ob_decide (View.strip_ids view)
+      && not (halts_with_nonzero machine ~fuel))
+
+let candidate_fuel ~fuel =
+  let structure = structure_verifier () in
+  Algorithm.make_oblivious
+    ~name:(Printf.sprintf "Gmr-candidate-fuel%d" fuel)
+    ~radius:2
+    (fun (view : Gmr.label View.t) ->
+      let machine = (View.center_label view).Gmr.machine in
+      structure.Algorithm.ob_decide view && not (halts_with_nonzero machine ~fuel))
+
+let candidate_scan () =
+  let structure = structure_verifier () in
+  Algorithm.make_oblivious ~name:"Gmr-candidate-scan" ~radius:2 (fun view ->
+      let sees_bad_halt =
+        Array.exists
+          (fun (l : Gmr.label) ->
+            match l.Gmr.part with
+            | Gmr.Cell { cell = { Cell.head = Cell.Halted o; _ }; _ } -> o <> 0
+            | Gmr.Cell _ | Gmr.Pyr _ -> false)
+          view.View.labels
+      in
+      structure.Algorithm.ob_decide view && not sees_bad_halt)
+
+let corollary1_decider () =
+  let structure = structure_verifier () in
+  Randomized.make ~name:"Gmr-corollary1" ~radius:2 (fun rng (view : Gmr.label View.t) ->
+      let machine = (View.center_label view).Gmr.machine in
+      let fuel =
+        Randomized.four_pow_capped ~cap:simulation_cap (Randomized.geometric rng)
+      in
+      structure.Algorithm.ob_decide view && not (halts_with_nonzero machine ~fuel))
+
+let separation_accepts candidate ?config ~r ~side_exp machine =
+  let views =
+    Gmr.generator_views ?config ~view_radius:candidate.Algorithm.ob_radius
+      ~dedupe:false ~r ~side_exp machine
+  in
+  List.for_all
+    (fun view -> candidate.Algorithm.ob_decide (View.strip_ids view))
+    views
+
+(* Fast whole-graph evaluation of the same deciders: the structure
+   rules are evaluated once per graph (they do not depend on the
+   identifiers or the coins), and the per-node simulation outcome is
+   derived from one full run of the machine — "simulating for k steps
+   finds a non-zero halt" is monotone in k. Agreement with the honest
+   per-view algorithms is part of the test suite. *)
+module Fast = struct
+  type t = {
+    lg : Gmr.label Labelled.t;
+    structure : bool array;
+    halt_steps : int option;  (** steps after which the halt is visible *)
+    output : int;
+    bad_halt_within_2 : bool array;
+  }
+
+  let dilate g marked =
+    let n = Array.length marked in
+    let out = Array.copy marked in
+    for v = 0 to n - 1 do
+      if not out.(v) then
+        out.(v) <- Array.exists (fun u -> marked.(u)) (Graph.neighbours g v)
+    done;
+    out
+
+  let prepare (lg : Gmr.label Labelled.t) =
+    let structure = Gmr_check.structure_array lg in
+    let machine = (Labelled.label lg 0).Gmr.machine in
+    let halt_steps, output =
+      match Exec.run ~fuel:simulation_cap machine with
+      | Exec.Halted { output; steps } -> (Some steps, output)
+      | Exec.Out_of_fuel _ | Exec.Crashed _ -> (None, 0)
+    in
+    let g = Labelled.graph lg in
+    let bad =
+      Array.init (Labelled.order lg) (fun v ->
+          match (Labelled.label lg v).Gmr.part with
+          | Gmr.Cell { cell = { Cell.head = Cell.Halted o; _ }; _ } -> o <> 0
+          | Gmr.Cell _ | Gmr.Pyr _ -> false)
+    in
+    let bad_halt_within_2 = dilate g (dilate g bad) in
+    { lg; structure; halt_steps; output; bad_halt_within_2 }
+
+  let finds_bad_halt t ~fuel =
+    (* [Exec.run ~fuel] reads the halting action only with [fuel > steps]
+       transitions of budget left, matching [halts_with_nonzero]. *)
+    match t.halt_steps with
+    | Some s -> fuel > s && t.output <> 0
+    | None -> false
+
+  let verdict_of t per_node =
+    Verdict.of_outputs
+      (Array.init (Labelled.order t.lg) (fun v -> t.structure.(v) && per_node v))
+
+  let ld t ~ids =
+    verdict_of t (fun v ->
+        let fuel = min (Ids.assign ids v) simulation_cap in
+        not (finds_bad_halt t ~fuel))
+
+  let fuel_candidate t ~fuel = verdict_of t (fun _ -> not (finds_bad_halt t ~fuel))
+
+  let scan_candidate t = verdict_of t (fun v -> not t.bad_halt_within_2.(v))
+
+  let corollary1 t rng =
+    verdict_of t (fun _ ->
+        let fuel =
+          Randomized.four_pow_capped ~cap:simulation_cap (Randomized.geometric rng)
+        in
+        not (finds_bad_halt t ~fuel))
+end
+
+let property ~r ~config =
+  Property.make ~name:(Printf.sprintf "P={G(M,%d) : M outputs 0}" r) (fun (lg : Gmr.label Labelled.t) ->
+      Labelled.order lg > 0
+      && Gmr_check.global_check ~r ~config lg
+      &&
+      let machine = (Labelled.label lg 0).Gmr.machine in
+      match Exec.run ~fuel:config.Gmr.fuel machine with
+      | Exec.Halted { output; _ } -> output = 0
+      | Exec.Out_of_fuel _ | Exec.Crashed _ -> false)

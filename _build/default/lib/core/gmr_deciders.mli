@@ -1,0 +1,70 @@
+(** The Section 3 deciders: [P = { G(M,r) : M outputs 0 }] is in LD
+    (Theorem 2) but not in LD*, and becomes Id-obliviously decidable
+    with randomness (Corollary 1).
+
+    - {!ld_decider}: structure rules + "simulate [M] for [Id v]
+      steps" — the identifier supplies the fuel that the instance
+      guarantees is sufficient somewhere ([max Id >= n - 1 >= steps]).
+    - {!candidate_fuel} and {!candidate_scan}: the natural Id-oblivious
+      attempts, each provably defeated by the construction —
+      [candidate_scan] by the fake-halt fragments glued into every
+      instance, [candidate_fuel f] by any machine running longer than
+      [f].
+    - {!separation_accepts}: the separation algorithm [R] of
+      Theorem 2's proof — run a candidate on the generator views
+      [B(N, t)] and accept iff all accept. Total on every machine.
+    - {!corollary1_decider}: the randomised Id-oblivious
+      [(1, 1-o(1))]-decider: fuel [4^(l_v)] from private coins. *)
+
+open Locald_turing
+open Locald_local
+open Locald_decision
+
+val simulation_cap : int
+(** Hard cap on simulation fuel (identifiers can be astronomically
+    large under (not B); the experiments keep them below this). *)
+
+val structure_verifier : unit -> (Gmr.label, bool) Algorithm.oblivious
+(** Radius-2 Id-oblivious verifier of the {!Gmr_check} rules. *)
+
+val ld_decider : unit -> (Gmr.label, bool) Algorithm.t
+(** The Theorem 2 LD decider (radius 2, uses identifiers). *)
+
+val candidate_fuel : fuel:int -> (Gmr.label, bool) Algorithm.oblivious
+(** Structure rules + bounded simulation with fixed fuel. *)
+
+val candidate_scan : unit -> (Gmr.label, bool) Algorithm.oblivious
+(** Structure rules + "say no iff my view shows a halt with non-zero
+    output". *)
+
+val corollary1_decider : unit -> (Gmr.label, bool) Randomized.t
+(** The Corollary 1 randomised decider ([n_v = 4^(l_v)], capped at
+    {!simulation_cap}). *)
+
+val separation_accepts :
+  (Gmr.label, bool) Algorithm.oblivious ->
+  ?config:Gmr.config ->
+  r:int ->
+  side_exp:int ->
+  Machine.t ->
+  bool
+(** The algorithm [R]: accept machine [N] iff the candidate accepts
+    every view in [B(N, r)]. Halts on every [N]. *)
+
+(** Fast whole-graph evaluation of the same deciders: the structure
+    rules are computed once per graph and reused across identifier
+    assignments and coin tosses. Pointwise agreement with the honest
+    per-view algorithms is part of the test suite. *)
+module Fast : sig
+  type t
+
+  val prepare : Gmr.label Locald_graph.Labelled.t -> t
+  val ld : t -> ids:Ids.t -> Verdict.t
+  val fuel_candidate : t -> fuel:int -> Verdict.t
+  val scan_candidate : t -> Verdict.t
+  val corollary1 : t -> Random.State.t -> Verdict.t
+end
+
+val property : r:int -> config:Gmr.config -> Gmr.label Property.t
+(** Exact membership predicate for [P] (global, not local): the graph
+    is [G(M, r)] for the machine in its labels and [M] outputs 0. *)

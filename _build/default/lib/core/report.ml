@@ -1,0 +1,180 @@
+(* Plain-text rendering of the experiment records; shared by the
+   [locald] CLI and the benchmark harness. *)
+
+let print_rule () = print_endline (String.make 78 '-')
+
+let print_table1 rows =
+  print_rule ();
+  print_endline "T1: Do unique node identifiers help in local decision?";
+  print_endline "    (Section 1.1 results table, regenerated)";
+  print_rule ();
+  List.iter
+    (fun (c : Experiments.cell_result) ->
+      let all = List.for_all snd c.evidence in
+      Printf.printf "%-14s %-12s %s\n" c.cell c.relation
+        (if all then "DEMONSTRATED" else "FAILED");
+      List.iter
+        (fun (name, ok) ->
+          Printf.printf "    [%s] %s\n" (if ok then "ok" else "FAIL") name)
+        c.evidence)
+    rows;
+  print_rule ();
+  Printf.printf "           |  (C)          (notC)\n";
+  let rel cell =
+    match List.find_opt (fun c -> c.Experiments.cell = cell) rows with
+    | Some c when List.for_all snd c.Experiments.evidence ->
+        c.Experiments.relation
+    | Some _ -> "??"
+    | None -> "--"
+  in
+  Printf.printf "      (B)  |  %-11s %-11s\n" (rel "(B, C)") (rel "(B, notC)");
+  Printf.printf "   (notB)  |  %-11s %-11s\n" (rel "(notB, C)") (rel "(notB, notC)");
+  print_rule ()
+
+let print_fig1 rows =
+  print_rule ();
+  print_endline
+    "F1: Figure 1 — layered trees T_r, small instances H_r, view coverage";
+  print_rule ();
+  Printf.printf "%5s %3s %3s %6s %10s %8s %12s %s\n" "arity" "r" "t" "R(r)"
+    "|T_r|" "|H_r|" "coverage" "prediction";
+  List.iter
+    (fun (x : Experiments.fig1_row) ->
+      Printf.printf "%5d %3d %3d %6d %10d %8d %6d/%-6d %s\n" x.arity x.r x.t
+        x.depth x.tree_nodes x.small_instances x.covered x.total
+        (if x.expected_full then
+           if x.covered = x.total then "full (as predicted: r >= 2t)"
+           else "EXPECTED FULL BUT NOT"
+         else if x.covered < x.total then "gaps (as predicted: r < 2t)"
+         else "UNEXPECTEDLY FULL"))
+    rows;
+  print_rule ()
+
+let print_fig2 rows =
+  print_rule ();
+  print_endline "F2: Figure 2 — the construction G(M, r) (r = 1)";
+  print_rule ();
+  Printf.printf "%-16s %5s %6s %6s %9s %9s %8s %9s %s\n" "machine" "steps"
+    "output" "table" "fragments" "fake-wins" "nodes" "edges" "rules";
+  List.iter
+    (fun (x : Experiments.fig2_row) ->
+      Printf.printf "%-16s %5d %6d %4dx%-3d %9d %9d %8d %9d %s\n" x.machine
+        x.steps x.output x.table_side x.table_side x.fragments x.fake_windows
+        x.nodes x.edges
+        (if x.rules_ok then "pass" else "FAIL"))
+    rows;
+  print_rule ()
+
+let print_fig3 rows =
+  print_rule ();
+  print_endline "F3: Figure 3 — the pyramid T^ (layered quadtree)";
+  print_rule ();
+  Printf.printf "%3s %6s %8s %10s %10s %10s %8s %8s\n" "h" "side" "nodes"
+    "overhead" "grid-diam" "pyr-diam" "genuine" "torus";
+  List.iter
+    (fun (x : Experiments.fig3_row) ->
+      Printf.printf "%3d %6d %8d %10.3f %10d %10d %8s %8s\n" x.h x.side x.nodes
+        x.pyramid_overhead x.grid_diameter x.pyramid_diameter
+        (if x.genuine_ok then "pass" else "FAIL")
+        (if x.torus_rejected then "reject" else "MISSED"))
+    rows;
+  print_rule ()
+
+let print_corollary1 rows =
+  print_rule ();
+  print_endline
+    "C1: Corollary 1 — randomised Id-oblivious (1, 1-o(1))-decider for P";
+  print_rule ();
+  Printf.printf "%-16s %8s %8s %6s %10s %14s\n" "machine" "n" "expect" "runs"
+    "success" "paper bound";
+  List.iter
+    (fun (x : Experiments.corollary1_row) ->
+      Printf.printf "%-16s %8d %8s %6d %10.3f %14.4f\n" x.machine x.n
+        (if x.expected then "yes" else "no")
+        x.runs x.success x.theory_bound)
+    rows;
+  print_rule ()
+
+let print_warmups rows =
+  print_rule ();
+  print_endline "W2/W3: the warm-up promise problems (Sections 2 and 3)";
+  print_rule ();
+  List.iter
+    (fun (x : Experiments.warmup_row) ->
+      Printf.printf "[%s] %-18s %-22s %s\n"
+        (if x.ok then "ok" else "FAIL")
+        x.problem x.setting x.check)
+    rows;
+  print_rule ()
+
+
+let print_p3 rows =
+  print_rule ();
+  print_endline
+    "P3: neighbourhood generator B(N,r) vs the true views of G(N,r)";
+  print_rule ();
+  Printf.printf "%-16s %8s %10s %10s %14s %14s\n" "machine" "halts<=w"
+    "G classes" "B classes" "G covered" "B covered";
+  List.iter
+    (fun (x : Experiments.p3_row) ->
+      Printf.printf "%-16s %8s %10d %10d %9d/%-6d %9d/%-6d\n" x.machine
+        (if x.halts_in_window then "yes" else "no")
+        x.g_classes x.b_classes x.g_covered_by_b x.g_classes x.b_covered_by_g
+        x.b_classes)
+    rows;
+  print_rule ()
+
+let print_fuel_diagonal rows =
+  print_rule ();
+  print_endline
+    "D: fuel diagonalisation - every fuel-bounded Id-oblivious candidate fails";
+  print_rule ();
+  Printf.printf "%5s %-18s %28s %24s\n" "fuel" "fooling machine"
+    "accepts its no-instance" "correct within fuel";
+  List.iter
+    (fun (x : Experiments.diagonal_row) ->
+      Printf.printf "%5d %-18s %28s %24s\n" x.fuel x.fooling_machine
+        (if x.fooled then "yes (fooled)" else "NO")
+        (if x.honest_on_fast then "yes" else "NO"))
+    rows;
+  print_rule ()
+
+let print_hereditary rows =
+  print_rule ();
+  print_endline
+    "H: hereditariness - the separations live outside the hereditary class";
+  print_rule ();
+  Printf.printf "%-26s %-22s %12s %10s\n" "property" "yes-instance" "closed?" "verdict";
+  List.iter
+    (fun (x : Experiments.hereditary_row) ->
+      Printf.printf "%-26s %-22s %12s %10s\n" x.property_name x.instance
+        (if x.hereditary_looking then "no violation" else "violated")
+        (if x.hereditary_looking = x.expected_hereditary then "as expected"
+         else "UNEXPECTED"))
+    rows;
+  print_rule ()
+
+let print_oi rows =
+  print_rule ();
+  print_endline "OI: order-invariant algorithms also lose under (B)";
+  print_rule ();
+  List.iter
+    (fun (x : Experiments.oi_row) ->
+      Printf.printf "[%s] %s\n" (if x.ok then "ok" else "FAIL") x.check)
+    rows;
+  print_rule ()
+
+let print_construction rows =
+  print_rule ();
+  print_endline
+    "K: construction tasks - identifiers as symmetry breakers (Section 1.3)";
+  print_rule ();
+  Printf.printf "%-38s %8s %6s %10s %12s\n" "task" "n" "ok" "rounds" "messages";
+  List.iter
+    (fun (x : Experiments.construction_row) ->
+      Printf.printf "%-38s %8d %6s %10d %12s\n" x.task x.n
+        (if x.ok then "yes" else "NO")
+        x.rounds
+        (if x.messages = 0 then "-" else string_of_int x.messages))
+    rows;
+  print_rule ()

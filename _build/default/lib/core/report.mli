@@ -1,0 +1,15 @@
+(** Plain-text rendering of the experiment records (shared by the CLI
+    and the benchmark harness). *)
+
+val print_rule : unit -> unit
+val print_table1 : Experiments.cell_result list -> unit
+val print_fig1 : Experiments.fig1_row list -> unit
+val print_fig2 : Experiments.fig2_row list -> unit
+val print_fig3 : Experiments.fig3_row list -> unit
+val print_corollary1 : Experiments.corollary1_row list -> unit
+val print_warmups : Experiments.warmup_row list -> unit
+val print_p3 : Experiments.p3_row list -> unit
+val print_fuel_diagonal : Experiments.diagonal_row list -> unit
+val print_hereditary : Experiments.hereditary_row list -> unit
+val print_oi : Experiments.oi_row list -> unit
+val print_construction : Experiments.construction_row list -> unit

@@ -1,0 +1,43 @@
+open Locald_graph
+open Locald_turing
+open Locald_local
+open Locald_decision
+
+let instance ~machine ~n = Labelled.const (Gen.cycle n) machine
+
+let halts ~fuel machine =
+  match Exec.run ~fuel machine with
+  | Exec.Halted _ -> true
+  | Exec.Out_of_fuel _ | Exec.Crashed _ -> false
+
+let steps_of ~fuel machine =
+  match Exec.run ~fuel machine with
+  | Exec.Halted { steps; _ } -> Some steps
+  | Exec.Out_of_fuel _ | Exec.Crashed _ -> None
+
+let promise ~fuel =
+  Promise.make ~name:"tm-cycle-promise"
+    ~promise:(fun lg ->
+      Graph.is_cycle (Labelled.graph lg)
+      && (let m0 = Labelled.label lg 0 in
+          Array.for_all (Machine.equal m0) (Labelled.labels lg))
+      &&
+      let machine = Labelled.label lg 0 in
+      match steps_of ~fuel machine with
+      | None -> true
+      | Some s -> Labelled.order lg >= s)
+    ~mem:(fun lg -> not (halts ~fuel (Labelled.label lg 0)))
+
+let ld_decider () =
+  Algorithm.make ~name:"tm-promise-LD" ~radius:0 (fun view ->
+      let machine = View.center_label view in
+      let fuel = min (View.center_id view + 1) Gmr_deciders.simulation_cap in
+      not (halts ~fuel machine))
+
+let oblivious_candidate ~fuel =
+  Algorithm.make_oblivious
+    ~name:(Printf.sprintf "tm-promise-fuel%d" fuel)
+    ~radius:0
+    (fun view -> not (halts ~fuel (View.center_label view)))
+
+let fooling_machine ~fuel = Zoo.walk ~steps:(fuel + 1) ~output:0

@@ -1,0 +1,35 @@
+(** The Section 3 warm-up promise problem [R]: the instances are
+    [n]-cycles whose constant label is a Turing machine [M], with the
+    promise that if [M] halts in [s] steps then [n >= s]. Yes-instances
+    are diverging machines, no-instances halting ones.
+
+    With identifiers a node simulates [M] for [Id(v) + 1] steps (the
+    [+1] covers the extremal packing [Id = 0..n-1]; the paper's
+    argument implicitly assumes a witness of size [>= s]); without
+    identifiers the problem is the halting problem, and every total
+    (computable) candidate is defeated by a machine that outruns its
+    fuel. *)
+
+open Locald_graph
+open Locald_turing
+open Locald_local
+open Locald_decision
+
+val instance : machine:Machine.t -> n:int -> Machine.t Labelled.t
+(** An [n]-cycle labelled by the machine. *)
+
+val promise : fuel:int -> Machine.t Promise.t
+(** The promise and membership, evaluated with bounded fuel (machines
+    out-running the fuel are treated as diverging — our executable
+    stand-in for the halting problem; see DESIGN.md). *)
+
+val ld_decider : unit -> (Machine.t, bool) Algorithm.t
+(** Radius-0 decider using identifiers (fuel capped at
+    {!Gmr_deciders.simulation_cap}). *)
+
+val oblivious_candidate : fuel:int -> (Machine.t, bool) Algorithm.oblivious
+(** The natural Id-oblivious attempt with fixed fuel. *)
+
+val fooling_machine : fuel:int -> Machine.t
+(** A halting machine that outruns the given fuel —
+    [oblivious_candidate ~fuel] accepts its (no-)instances. *)

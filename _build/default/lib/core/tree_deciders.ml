@@ -1,0 +1,206 @@
+open Locald_graph
+open Locald_local
+open Locald_decision
+module Lt = Layered_tree
+module Ti = Tree_instances
+
+let rec power base e = if e = 0 then 1 else base * power base (e - 1)
+
+(* The label of a view node, as the layered-tree inspector wants it. *)
+let tree_label_of (view : Ti.label View.t) v =
+  match view.View.labels.(v) with
+  | Ti.Tree l -> Some l
+  | Ti.Pivot _ -> None
+
+let pivot_rule (p : Ti.params) (view : Ti.label View.t) r =
+  r = p.Ti.r
+  &&
+  let d = Bound.big_r ~regime:p.Ti.regime ~arity:p.Ti.arity ~r in
+  let nbrs = Graph.neighbours view.View.graph view.View.center in
+  let coords =
+    Array.to_list nbrs
+    |> List.map (fun u ->
+           match view.View.labels.(u) with
+           | Ti.Tree l when l.Lt.r = r -> Some l
+           | Ti.Tree _ | Ti.Pivot _ -> None)
+  in
+  List.for_all Option.is_some coords
+  &&
+  let coords = List.filter_map Fun.id coords |> List.sort compare in
+  match coords with
+  | [] -> false
+  | first :: _ ->
+      (* Try every cone level the first border node could sit on. *)
+      let candidates =
+        List.filter_map
+          (fun k ->
+            let y0 = first.Lt.y - k in
+            if y0 < 0 || y0 + r > d then None
+            else Some (first.Lt.x / power p.Ti.arity k, y0))
+          (List.init (r + 1) Fun.id)
+      in
+      List.exists
+        (fun apex -> Ti.border_coords { p with Ti.r } ~apex = coords)
+        candidates
+
+let tree_rule (p : Ti.params) (view : Ti.label View.t) (l : Lt.label) =
+  l.Lt.r = p.Ti.r
+  &&
+  let d = Bound.big_r ~regime:p.Ti.regime ~arity:p.Ti.arity ~r:l.Lt.r in
+  match
+    Lt.inspect ~arity:p.Ti.arity ~depth:d ~label_of:(tree_label_of view)
+      view.View.graph view.View.center
+  with
+  | None -> false
+  | Some c -> (
+      c.Lt.label_ok
+      && c.Lt.unexpected_tree = []
+      &&
+      match c.Lt.foreign with
+      | [] -> c.Lt.missing = []
+      | [ pv ] -> (
+          (* A border node: adjacent to exactly one pivot (same r). *)
+          c.Lt.missing <> []
+          &&
+          match view.View.labels.(pv) with
+          | Ti.Pivot r' -> r' = l.Lt.r
+          | Ti.Tree _ -> false)
+      | _ :: _ :: _ -> false)
+
+let pprime_verifier p =
+  Algorithm.make_oblivious ~name:"P'-verifier" ~radius:1 (fun view ->
+      match View.center_label view with
+      | Ti.Pivot r -> pivot_rule p view r
+      | Ti.Tree l -> tree_rule p view l)
+
+let p_decider p =
+  let structure = pprime_verifier p in
+  Algorithm.make ~name:"P-decider" ~radius:1 (fun view ->
+      let r =
+        match View.center_label view with Ti.Pivot r -> r | Ti.Tree l -> l.Lt.r
+      in
+      let rr = Bound.big_r ~regime:p.Ti.regime ~arity:p.Ti.arity ~r in
+      structure.Algorithm.ob_decide (View.strip_ids view) && View.center_id view < rr)
+
+type coverage = {
+  t : int;
+  total_views : int;
+  covered : int;
+  uncovered_node : int option;
+}
+
+let coverage p ~t =
+  let tr = Ti.big_tree p in
+  let d = Ti.depth p in
+  let arity = p.Ti.arity in
+  let n = Labelled.order tr in
+  (* Deduplicate the views of T_r by signature, keeping one witness
+     node per class (exact iso resolves collisions). *)
+  let hash_label = Hashtbl.hash in
+  let classes : (int, (Ti.label View.t * int) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  for v = 0 to n - 1 do
+    let view = View.extract tr ~center:v ~radius:t in
+    let s = Iso.view_signature hash_label view in
+    let bucket =
+      match Hashtbl.find_opt classes s with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.replace classes s b;
+          b
+    in
+    if
+      not
+        (List.exists (fun (w, _) -> Iso.views_isomorphic ( = ) view w) !bucket)
+    then bucket := (view, v) :: !bucket
+  done;
+  let representatives =
+    Hashtbl.fold (fun _ b acc -> !b @ acc) classes []
+  in
+  (* Cache the small instances and the big-index -> cone-index maps. *)
+  let cache = Hashtbl.create 64 in
+  let small_at apex =
+    match Hashtbl.find_opt cache apex with
+    | Some x -> x
+    | None ->
+        let inst = Ti.small_instance p ~apex in
+        let members = Lt.cone ~arity ~apex ~r:p.Ti.r in
+        let local = Hashtbl.create (2 * Array.length members) in
+        (* [Labelled.induced] sorts members, so sorted order is the
+           cone-local index order. *)
+        let sorted = Array.copy members in
+        Array.sort compare sorted;
+        Array.iteri (fun i v -> Hashtbl.replace local v i) sorted;
+        Hashtbl.replace cache apex (inst, local);
+        (inst, local)
+  in
+  let coord_of v =
+    let rec find_level y =
+      if Lt.level_offset ~arity (y + 1) > v then y else find_level (y + 1)
+    in
+    let y = find_level 0 in
+    (v - Lt.level_offset ~arity y, y)
+  in
+  let node_covered (view, v) =
+    let x, y = coord_of v in
+    List.exists
+      (fun k ->
+        let y0 = y - k in
+        y0 >= 0
+        && y0 + p.Ti.r <= d
+        &&
+        let apex = (x / power arity k, y0) in
+        let inst, local = small_at apex in
+        match Hashtbl.find_opt local v with
+        | None -> false
+        | Some i ->
+            let candidate = View.extract inst ~center:i ~radius:t in
+            Iso.views_isomorphic ( = ) view candidate)
+      (List.init (p.Ti.r + 1) Fun.id)
+  in
+  let covered = ref 0 and uncovered = ref None in
+  List.iter
+    (fun rep ->
+      if node_covered rep then incr covered
+      else if !uncovered = None then uncovered := Some (snd rep))
+    representatives;
+  {
+    t;
+    total_views = List.length representatives;
+    covered = !covered;
+    uncovered_node = !uncovered;
+  }
+
+type budget_failure =
+  | Rejects_small of (int * int)
+  | Accepts_large
+  | No_failure_found
+
+let budgeted_a_star p ~budget ~trials =
+  let alg = p_decider p in
+  let simulated =
+    Simulation.a_star
+      ~budget:(Simulation.Sampled { bound = budget; trials; seed = 0x5eed })
+      alg
+  in
+  (* Scan a bounded sample of apexes — one wrongly rejected small
+     instance is all the experiment needs, and the apex count is
+     exponential in R(r). *)
+  let apexes = Ti.apexes p in
+  let stride = max 1 (List.length apexes / 64) in
+  let sampled = List.filteri (fun i _ -> i mod stride = 0) apexes in
+  let wrongly_rejected_small =
+    List.find_opt
+      (fun apex ->
+        Verdict.rejects
+          (Decider.decide_oblivious simulated (Ti.small_instance p ~apex)))
+      sampled
+  in
+  match wrongly_rejected_small with
+  | Some apex -> Rejects_small apex
+  | None ->
+      if Verdict.accepts (Decider.decide_oblivious simulated (Ti.big_tree p)) then
+        Accepts_large
+      else No_failure_found

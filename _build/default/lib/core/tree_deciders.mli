@@ -1,0 +1,50 @@
+(** The Section 2 deciders and separation experiments.
+
+    Three results are made executable:
+    - [P' ∈ LD*]: {!pprime_verifier} is an Id-oblivious radius-1
+      algorithm accepting exactly the small and large instances;
+    - [P ∈ LD]: {!p_decider} additionally rejects every large instance
+      using the identifier threshold [R(r)];
+    - [P ∉ LD*]: {!coverage} shows every radius-[t] view of the large
+      instance [T_r] already occurs in some small instance (so any
+      Id-oblivious decider accepting all of [H_r] accepts [T_r]), and
+      {!budgeted_a_star} shows that the generic simulation [A*] fails
+      for {e every} search budget — the executable content of "the
+      simulation needs (not B)". *)
+
+open Locald_local
+
+val pprime_verifier :
+  Tree_instances.params -> (Tree_instances.label, bool) Algorithm.oblivious
+(** Radius-1 Id-oblivious local verifier for [P']. *)
+
+val p_decider : Tree_instances.params -> (Tree_instances.label, bool) Algorithm.t
+(** Radius-1 decider for [P] (uses identifiers): the [P'] rules plus
+    "my identifier is below [R(r)]". *)
+
+(** {1 Experiments} *)
+
+type coverage = {
+  t : int;
+  total_views : int;       (** distinct views of [T_r] up to iso *)
+  covered : int;           (** found in some small instance *)
+  uncovered_node : int option;  (** a witness node of [T_r], if any *)
+}
+
+val coverage : Tree_instances.params -> t:int -> coverage
+(** For every node of [T_r], search the cones containing it for an
+    interior occurrence of its stripped radius-[t] view. Full coverage
+    ([covered = total_views]) is the [P ∉ LD*] obstruction. *)
+
+type budget_failure =
+  | Rejects_small of (int * int)
+      (** the simulation rejects the yes-instance [H+] at this apex *)
+  | Accepts_large
+      (** the simulation accepts the no-instance [T_r] *)
+  | No_failure_found
+
+val budgeted_a_star :
+  Tree_instances.params -> budget:int -> trials:int -> budget_failure
+(** Run [A* = a_star (p_decider)] with a sampled id-search budget:
+    with [budget > R(r)] it wrongly rejects small instances; with
+    [budget <= R(r)] it wrongly accepts [T_r]. *)

@@ -1,0 +1,66 @@
+(** Instances of the Section 2 promise-free property (Figure 1).
+
+    [P] consists of the small instances [H+ in H_r]: a depth-[r]
+    layered-tree cone [H <=_r T_r], induced in the large tree, plus a
+    pivot node adjacent to exactly the border nodes of [H].
+    [P' = P + {T_r}] adds the large instances, the depth-[R(r)]
+    layered trees themselves.
+
+    [arity = 2] is the paper's construction; [arity = 1] is the
+    linear-size variant used for the horizon-[t >= 1] coverage
+    experiments (see DESIGN.md). *)
+
+open Locald_graph
+open Locald_local
+
+type label =
+  | Tree of Layered_tree.label
+  | Pivot of int  (** carries [r] *)
+
+val equal_label : label -> label -> bool
+val pp_label : Format.formatter -> label -> unit
+
+type params = {
+  regime : Ids.regime;  (** must be bounded; supplies [f] *)
+  arity : int;
+  r : int;
+}
+
+val depth : params -> int
+(** [R(r)], via {!Bound.big_r}. *)
+
+val big_tree : params -> label Labelled.t
+(** The large instance [T_r]. *)
+
+val apexes : params -> (int * int) list
+(** Apex positions of all cones [H <=_r T_r]. *)
+
+val small_instance : params -> apex:int * int -> label Labelled.t
+(** [H+]: the cone below the apex, induced in [T_r], plus the pivot.
+    The pivot is the last node. *)
+
+val border_coords : params -> apex:int * int -> Layered_tree.label list
+(** Coordinates of the cone's border nodes (sorted). *)
+
+(** {1 Membership} *)
+
+type kind = Small | Large | Neither
+
+val classify : params -> label Labelled.t -> kind
+(** Exact global classification (the ground-truth membership test for
+    the properties [P] ([Small]) and [P'] ([Small] or [Large])). *)
+
+val in_p : params -> label Labelled.t -> bool
+val in_p' : params -> label Labelled.t -> bool
+
+(** {1 Counterfeits (negative test instances)} *)
+
+val cone_without_pivot : params -> apex:int * int -> label Labelled.t
+val two_pivots : params -> apex:int * int -> label Labelled.t
+val pivot_on_interior : params -> apex:int * int -> label Labelled.t
+(** Pivot additionally attached to a non-border node (falls back to
+    {!small_instance} if the cone has no interior). *)
+
+val truncated_tree : params -> keep_depth:int -> label Labelled.t
+(** The top [keep_depth] levels of [T_r] without any pivot — a
+    "medium" instance that is neither small nor large. *)

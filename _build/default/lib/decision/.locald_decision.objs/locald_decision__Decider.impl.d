@@ -1,0 +1,1 @@
+lib/decision/decider.ml: Format Ids Locald_graph Locald_local Printf Runner Seq Verdict

@@ -1,0 +1,1 @@
+lib/decision/decider.mli: Algorithm Format Ids Labelled Locald_graph Locald_local Random Verdict

@@ -1,0 +1,1 @@
+lib/decision/hereditary.ml: Array Graph Hashtbl Int Labelled List Locald_graph Option Property Random Set

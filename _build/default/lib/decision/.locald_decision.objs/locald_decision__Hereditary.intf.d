@@ -1,0 +1,1 @@
+lib/decision/hereditary.mli: Labelled Locald_graph Property Random

@@ -1,0 +1,1 @@
+lib/decision/lcl.ml: Algorithm Array Graph Labelled List Locald_graph Locald_local Printf Property Runner Verdict View

@@ -1,0 +1,1 @@
+lib/decision/lcl.mli: Algorithm Labelled Locald_graph Locald_local Property View

@@ -1,0 +1,1 @@
+lib/decision/nondeterministic.ml: Algorithm Array Graph Labelled List Locald_graph Locald_local Queue Random Runner Seq Verdict View

@@ -1,0 +1,1 @@
+lib/decision/nondeterministic.mli: Labelled Locald_graph Random Verdict View

@@ -1,0 +1,1 @@
+lib/decision/pls.ml: Algorithm Array Float Graph Ids Labelled Locald_graph Locald_local Runner Spanning_tree Verdict View

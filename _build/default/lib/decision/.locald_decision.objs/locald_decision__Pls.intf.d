@@ -1,0 +1,1 @@
+lib/decision/pls.mli: Ids Labelled Locald_graph Locald_local Random Verdict View

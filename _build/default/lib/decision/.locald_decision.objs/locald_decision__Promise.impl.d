@@ -1,0 +1,1 @@
+lib/decision/promise.ml: Locald_graph Property

@@ -1,0 +1,1 @@
+lib/decision/promise.mli: Labelled Locald_graph Property

@@ -1,0 +1,1 @@
+lib/decision/property.ml: Array Fun Graph Labelled Locald_graph Printf Random

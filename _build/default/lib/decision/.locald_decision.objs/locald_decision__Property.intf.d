@@ -1,0 +1,1 @@
+lib/decision/property.mli: Labelled Locald_graph Random

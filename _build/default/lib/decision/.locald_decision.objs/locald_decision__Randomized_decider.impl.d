@@ -1,0 +1,1 @@
+lib/decision/randomized_decider.ml: Format Labelled Locald_graph Locald_local Randomized Verdict

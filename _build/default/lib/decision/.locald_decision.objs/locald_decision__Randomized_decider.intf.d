@@ -1,0 +1,1 @@
+lib/decision/randomized_decider.mli: Format Ids Labelled Locald_graph Locald_local Random Randomized

@@ -1,0 +1,1 @@
+lib/decision/simulation.ml: Algorithm Ids Locald_graph Locald_local Printf Random Seq View

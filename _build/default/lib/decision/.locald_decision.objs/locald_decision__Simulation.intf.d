@@ -1,0 +1,1 @@
+lib/decision/simulation.mli: Algorithm Ids Locald_local Seq

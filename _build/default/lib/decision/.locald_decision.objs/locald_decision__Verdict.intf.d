@@ -1,0 +1,1 @@
+lib/decision/verdict.mli: Format

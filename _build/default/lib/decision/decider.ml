@@ -1,0 +1,57 @@
+open Locald_local
+
+let decide alg lg ~ids = Verdict.of_outputs (Runner.run alg lg ~ids)
+
+let decide_oblivious ob lg = Verdict.of_outputs (Runner.run_oblivious ob lg)
+
+type evaluation = {
+  instance : string;
+  n : int;
+  expected : bool;
+  assignments : int;
+  correct : int;
+  wrong : int;
+  failure : (Ids.t * Verdict.t) option;
+}
+
+let tally ~expected ~instance ~n assignments_seq alg lg =
+  let correct = ref 0 and wrong = ref 0 and failure = ref None and total = ref 0 in
+  Seq.iter
+    (fun ids ->
+      incr total;
+      let verdict = decide alg lg ~ids in
+      if Verdict.accepts verdict = expected then incr correct
+      else begin
+        incr wrong;
+        if !failure = None then failure := Some (ids, verdict)
+      end)
+    assignments_seq;
+  {
+    instance;
+    n;
+    expected;
+    assignments = !total;
+    correct = !correct;
+    wrong = !wrong;
+    failure = !failure;
+  }
+
+let evaluate ~rng ~regime ~assignments alg ~expected ~instance lg =
+  let n = Locald_graph.Labelled.order lg in
+  let seq =
+    Seq.init assignments (fun _ -> Ids.sample rng regime ~n)
+  in
+  tally ~expected ~instance ~n seq alg lg
+
+let evaluate_exhaustive ~bound alg ~expected ~instance lg =
+  let n = Locald_graph.Labelled.order lg in
+  tally ~expected ~instance ~n (Ids.enumerate_injections ~n ~bound) alg lg
+
+let all_correct e = e.wrong = 0 && e.assignments > 0
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf "%-28s n=%-6d expect=%-6s %d/%d assignments correct%s"
+    e.instance e.n
+    (if e.expected then "yes" else "no")
+    e.correct e.assignments
+    (if e.wrong = 0 then "" else Printf.sprintf "  (%d WRONG)" e.wrong)

@@ -1,0 +1,50 @@
+(** Running local algorithms as deciders, and evaluating their
+    correctness over identifier assignments.
+
+    A local algorithm [A] decides a property [P] when, for {e every}
+    valid identifier assignment, it accepts every yes-instance and
+    rejects every no-instance. Correctness is therefore quantified
+    over assignments: [evaluate] samples (or exhausts) assignments
+    valid under a regime and tallies the verdicts. *)
+
+open Locald_graph
+open Locald_local
+
+val decide : ('a, bool) Algorithm.t -> 'a Labelled.t -> ids:Ids.t -> Verdict.t
+
+val decide_oblivious : ('a, bool) Algorithm.oblivious -> 'a Labelled.t -> Verdict.t
+
+type evaluation = {
+  instance : string;
+  n : int;
+  expected : bool;       (** is the instance in the property? *)
+  assignments : int;     (** assignments tried *)
+  correct : int;
+  wrong : int;
+  failure : (Ids.t * Verdict.t) option;  (** an assignment that went wrong *)
+}
+
+val evaluate :
+  rng:Random.State.t ->
+  regime:Ids.regime ->
+  assignments:int ->
+  ('a, bool) Algorithm.t ->
+  expected:bool ->
+  instance:string ->
+  'a Labelled.t ->
+  evaluation
+(** Random assignments drawn from the regime. *)
+
+val evaluate_exhaustive :
+  bound:int ->
+  ('a, bool) Algorithm.t ->
+  expected:bool ->
+  instance:string ->
+  'a Labelled.t ->
+  evaluation
+(** Every injective assignment into [0 .. bound-1] (small instances
+    only). *)
+
+val all_correct : evaluation -> bool
+
+val pp_evaluation : Format.formatter -> evaluation -> unit

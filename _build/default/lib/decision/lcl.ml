@@ -1,0 +1,152 @@
+open Locald_graph
+open Locald_local
+
+type 'a spec = {
+  lcl_name : string;
+  lcl_radius : int;
+  valid : 'a View.t -> bool;
+}
+
+let property spec =
+  Property.make ~name:spec.lcl_name (fun lg ->
+      let n = Labelled.order lg in
+      let rec go v =
+        v >= n
+        || (spec.valid (View.extract lg ~center:v ~radius:spec.lcl_radius)
+           && go (v + 1))
+      in
+      go 0)
+
+let decider spec =
+  Algorithm.make_oblivious ~name:(spec.lcl_name ^ "-decider")
+    ~radius:spec.lcl_radius spec.valid
+
+let decides spec instances =
+  let p = property spec in
+  let d = decider spec in
+  List.for_all
+    (fun lg ->
+      Verdict.accepts (Verdict.of_outputs (Runner.run_oblivious d lg))
+      = p.Property.mem lg)
+    instances
+
+(* ------------------------------------------------------------------ *)
+(* Stock LCLs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let proper_colouring ~k =
+  {
+    lcl_name = Printf.sprintf "lcl-%d-colouring" k;
+    lcl_radius = 1;
+    valid =
+      (fun view ->
+        let c = View.center_label view in
+        c >= 0 && c < k
+        && Array.for_all
+             (fun u -> view.View.labels.(u) <> c)
+             (Graph.neighbours view.View.graph view.View.center));
+  }
+
+let maximal_independent_set =
+  {
+    lcl_name = "lcl-mis";
+    lcl_radius = 1;
+    valid =
+      (fun view ->
+        let v = view.View.center in
+        let in_set u = view.View.labels.(u) = 1 in
+        let nbrs = Graph.neighbours view.View.graph v in
+        let label = view.View.labels.(v) in
+        (label = 0 || label = 1)
+        && ((not (in_set v)) || Array.for_all (fun u -> not (in_set u)) nbrs)
+        && (in_set v || Array.exists in_set nbrs));
+  }
+
+let dominating_set =
+  {
+    lcl_name = "lcl-dominating-set";
+    lcl_radius = 1;
+    valid =
+      (fun view ->
+        let v = view.View.center in
+        let in_set u = view.View.labels.(u) = 1 in
+        in_set v || Array.exists in_set (Graph.neighbours view.View.graph v));
+  }
+
+(* The matched partner named by position within the sorted adjacency
+   list; radius 2 so that the partner's full (order-preserved)
+   adjacency is inside the view. *)
+let partner_of view u =
+  let nbrs = Graph.neighbours view.View.graph u in
+  match view.View.labels.(u) with
+  | Some k when k >= 0 && k < Array.length nbrs -> Some nbrs.(k)
+  | Some _ | None -> None
+
+let maximal_matching =
+  {
+    lcl_name = "lcl-maximal-matching";
+    lcl_radius = 2;
+    valid =
+      (fun view ->
+        let v = view.View.center in
+        let nbrs = Graph.neighbours view.View.graph v in
+        match view.View.labels.(v) with
+        | Some _ -> (
+            match partner_of view v with
+            | None -> false (* position out of range *)
+            | Some u -> partner_of view u = Some v)
+        | None ->
+            (* Maximality: no unmatched neighbour either. *)
+            Array.for_all (fun u -> view.View.labels.(u) <> None) nbrs);
+  }
+
+let sinkless_orientation =
+  {
+    lcl_name = "lcl-sinkless-orientation";
+    lcl_radius = 2;
+    valid =
+      (fun view ->
+        let v = view.View.center in
+        let nbrs = Graph.neighbours view.View.graph v in
+        let out u =
+          let unbrs = Graph.neighbours view.View.graph u in
+          let k = view.View.labels.(u) in
+          if k >= 0 && k < Array.length unbrs then Some unbrs.(k) else None
+        in
+        match out v with
+        | None -> Array.length nbrs = 0
+        | Some u -> Array.length nbrs < 2 || out u <> Some v);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Greedy constructors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let greedy_mis lg =
+  let g = Labelled.graph lg in
+  let n = Graph.order g in
+  let label = Array.make n 0 in
+  for v = 0 to n - 1 do
+    if Array.for_all (fun u -> label.(u) = 0) (Graph.neighbours g v) then
+      label.(v) <- 1
+  done;
+  label
+
+let greedy_matching lg =
+  let g = Labelled.graph lg in
+  let n = Graph.order g in
+  let partner = Array.make n (-1) in
+  List.iter
+    (fun (u, v) ->
+      if partner.(u) < 0 && partner.(v) < 0 then begin
+        partner.(u) <- v;
+        partner.(v) <- u
+      end)
+    (Graph.edges g);
+  Array.init n (fun v ->
+      if partner.(v) < 0 then None
+      else begin
+        let nbrs = Graph.neighbours g v in
+        let rec find k = if nbrs.(k) = partner.(v) then k else find (k + 1) in
+        Some (find 0)
+      end)

@@ -1,0 +1,58 @@
+(** Locally checkable labellings (LCLs) — the Naor-Stockmeyer frame
+    ("What can be computed locally?") that the paper's title answers
+    for decision.
+
+    An LCL is a property {e defined} as the conjunction of a local
+    validity predicate over all nodes. Such properties are the
+    prototypical members of LD*: the canonical decider simply runs the
+    validity predicate at every node, is Id-oblivious by construction
+    and decides the property exactly (by definition — {!decides}
+    checks the plumbing). The paper's separations show this easy world
+    is not all of LD. *)
+
+open Locald_graph
+open Locald_local
+
+type 'a spec = {
+  lcl_name : string;
+  lcl_radius : int;
+  valid : 'a View.t -> bool;  (** identifier-free local validity *)
+}
+
+val property : 'a spec -> 'a Property.t
+(** Global membership: every node's view is valid. *)
+
+val decider : 'a spec -> ('a, bool) Algorithm.oblivious
+(** The canonical Id-oblivious decider. *)
+
+val decides :
+  'a spec -> 'a Labelled.t list -> bool
+(** The decider's verdict equals membership on each instance (sanity:
+    true by construction, exercised in tests). *)
+
+(** {1 Stock LCLs} *)
+
+val proper_colouring : k:int -> int spec
+
+val maximal_independent_set : int spec
+(** Labels in {0,1}; 1-nodes independent, 0-nodes dominated. *)
+
+val dominating_set : int spec
+(** Every node is, or neighbours, a 1-node. *)
+
+val maximal_matching : int option spec
+(** A node's label optionally names the {e position} (in its sorted
+    adjacency list) of its matched edge; validity: named partners point
+    back, and two unmatched neighbours may not coexist. *)
+
+val sinkless_orientation : int spec
+(** Each node names one incident edge position as outgoing; validity
+    at radius 1: the position is in range and, on nodes of degree
+    >= 2, the chosen out-neighbour does not point straight back (no
+    2-cycles pretending to be progress). The classical LCL separating
+    randomised from deterministic round complexity. *)
+
+(** {1 Construction helpers (for examples and tests)} *)
+
+val greedy_mis : 'a Labelled.t -> int array
+val greedy_matching : 'a Labelled.t -> int option array

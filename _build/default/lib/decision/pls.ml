@@ -1,0 +1,105 @@
+open Locald_graph
+open Locald_local
+
+type ('a, 'c) scheme = {
+  pls_name : string;
+  pls_radius : int;
+  prover : 'a Labelled.t -> ids:Ids.t -> 'c array;
+  verify : ('a * 'c) View.t -> bool;
+}
+
+let certified lg certificates =
+  Labelled.init (Labelled.graph lg) (fun v ->
+      (Labelled.label lg v, certificates.(v)))
+
+let accepts_with scheme lg ~ids ~certificates =
+  let alg =
+    Algorithm.make ~name:scheme.pls_name ~radius:scheme.pls_radius scheme.verify
+  in
+  Verdict.of_outputs (Runner.run alg (certified lg certificates) ~ids)
+
+let accepts_proved scheme lg ~ids =
+  accepts_with scheme lg ~ids ~certificates:(scheme.prover lg ~ids)
+
+let refuted_sampled ~rng ~trials ~gen_certificate scheme lg ~ids =
+  let n = Labelled.order lg in
+  let rec go k =
+    if k >= trials then true
+    else
+      let certificates = Array.init n (fun _ -> gen_certificate rng) in
+      Verdict.rejects (accepts_with scheme lg ~ids ~certificates) && go (k + 1)
+  in
+  go 0
+
+let proof_bits size certificates =
+  Array.fold_left (fun acc c -> max acc (size c)) 0 certificates
+
+(* ------------------------------------------------------------------ *)
+(* Unique leader                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type leader_cert = {
+  root_id : int;
+  level : int;
+  parent_id : int;
+}
+
+let bits_of_int x = if x <= 0 then 1 else 1 + (Float.to_int (Float.log2 (float_of_int x)))
+
+let leader_cert_bits c =
+  bits_of_int c.root_id + bits_of_int c.level + bits_of_int c.parent_id
+
+let leader_prover lg ~ids =
+  let g = Labelled.graph lg in
+  let n = Graph.order g in
+  (* Root the tree at the (hopefully unique) leader; on malformed
+     instances any certificates will do — the verifier rejects. *)
+  let leader =
+    let rec find v = if v >= n then 0 else if Labelled.label lg v then v else find (v + 1) in
+    find 0
+  in
+  if n = 0 then [||]
+  else if not (Graph.is_connected g) then
+    Array.make n { root_id = 0; level = 0; parent_id = 0 }
+  else begin
+    let tree = Spanning_tree.bfs g ~root:leader in
+    Array.init n (fun v ->
+        {
+          root_id = Ids.assign ids leader;
+          level = Spanning_tree.dist tree v;
+          parent_id = Ids.assign ids (Spanning_tree.parent tree v);
+        })
+  end
+
+let leader_verify (view : (bool * leader_cert) View.t) =
+  let c = view.View.center in
+  let ids = match view.View.ids with Some ids -> ids | None -> [||] in
+  let is_leader, cert = view.View.labels.(c) in
+  let nbrs = Graph.neighbours view.View.graph c in
+  (* Everyone in sight agrees on the leader's identifier. *)
+  Array.for_all
+    (fun u ->
+      let _, cu = view.View.labels.(u) in
+      cu.root_id = cert.root_id)
+    nbrs
+  (* Leadership <=> level 0 <=> carrying the root id. *)
+  && is_leader = (cert.level = 0)
+  && (cert.level = 0) = (ids.(c) = cert.root_id)
+  &&
+  if cert.level = 0 then cert.parent_id = ids.(c)
+  else
+    (* The parent is a visible neighbour, one level up. *)
+    cert.level > 0
+    && Array.exists
+         (fun u ->
+           let _, cu = view.View.labels.(u) in
+           ids.(u) = cert.parent_id && cu.level = cert.level - 1)
+         nbrs
+
+let unique_leader =
+  {
+    pls_name = "unique-leader-pls";
+    pls_radius = 1;
+    prover = leader_prover;
+    verify = leader_verify;
+  }

@@ -1,0 +1,58 @@
+(** Proof-labelling schemes (Korman-Kutten-Peleg, the paper's refs
+    [12,13]) — certificates verified by a radius-1 verifier that {e
+    does} see identifiers.
+
+    The contrast with {!Nondeterministic} is the point: NLD*
+    certificates must work without identifiers (and the paper notes
+    NLD* = NLD), while classical proof-labelling schemes lean on
+    identifiers to tie certificates to concrete nodes — e.g. parent
+    pointers of a spanning tree are identifiers. *)
+
+open Locald_graph
+open Locald_local
+
+type ('a, 'c) scheme = {
+  pls_name : string;
+  pls_radius : int;
+  prover : 'a Labelled.t -> ids:Ids.t -> 'c array;
+  verify : ('a * 'c) View.t -> bool;
+      (** runs on views carrying identifiers *)
+}
+
+val accepts_with :
+  ('a, 'c) scheme -> 'a Labelled.t -> ids:Ids.t -> certificates:'c array ->
+  Verdict.t
+
+val accepts_proved : ('a, 'c) scheme -> 'a Labelled.t -> ids:Ids.t -> Verdict.t
+
+val refuted_sampled :
+  rng:Random.State.t ->
+  trials:int ->
+  gen_certificate:(Random.State.t -> 'c) ->
+  ('a, 'c) scheme ->
+  'a Labelled.t ->
+  ids:Ids.t ->
+  bool
+(** No sampled certificate assignment is accepted. *)
+
+val proof_bits : ('c -> int) -> 'c array -> int
+(** Maximum certificate size in bits (given a per-certificate size). *)
+
+(** {1 The classic scheme: unique leader via a rooted spanning tree} *)
+
+type leader_cert = {
+  root_id : int;   (** identifier of the claimed leader *)
+  level : int;     (** hop distance to the leader along the tree *)
+  parent_id : int; (** identifier of the tree parent (self at the root) *)
+}
+
+val unique_leader : (bool, leader_cert) scheme
+(** Inputs label each node with "I am a leader"; the property is
+    "exactly one leader" — not locally decidable (a second leader may
+    be anywhere), but certifiable with [O(log n)]-bit labels: a BFS
+    tree rooted at the leader, encoded with identifiers. Soundness on
+    connected instances: zero leaders leave no level-0 node for the
+    strictly decreasing levels to reach; two leaders force a root-id
+    disagreement along any connecting path. *)
+
+val leader_cert_bits : leader_cert -> int

@@ -1,0 +1,10 @@
+type 'a t = {
+  name : string;
+  promise : 'a Locald_graph.Labelled.t -> bool;
+  mem : 'a Locald_graph.Labelled.t -> bool;
+}
+
+let make ~name ~promise ~mem = { name; promise; mem }
+
+let to_property t =
+  Property.make ~name:(t.name ^ "-total") (fun lg -> t.promise lg && t.mem lg)

@@ -1,0 +1,30 @@
+(** Labelled-graph properties as first-class values (Section 1.2).
+
+    A property is a membership predicate on labelled graphs that is
+    invariant under isomorphism; {!check_invariance} tests the latter
+    on random relabellings. *)
+
+open Locald_graph
+
+type 'a t = {
+  name : string;
+  mem : 'a Labelled.t -> bool;
+}
+
+val make : name:string -> ('a Labelled.t -> bool) -> 'a t
+
+val check_invariance :
+  rng:Random.State.t -> trials:int -> 'a t -> 'a Labelled.t -> bool
+(** Membership is unchanged under random node renumberings of the
+    given instance. *)
+
+(** {1 Stock properties (used in examples and tests)} *)
+
+val proper_colouring : k:int -> int t
+(** Labels are colours [0 .. k-1] and neighbouring nodes differ. *)
+
+val maximal_independent_set : int t
+(** Nodes labelled 1 form a maximal independent set. *)
+
+val all_equal : int t
+(** All labels are equal (a hereditary toy property). *)

@@ -1,0 +1,29 @@
+open Locald_graph
+open Locald_local
+
+type estimate = {
+  instance : string;
+  n : int;
+  expected : bool;
+  runs : int;
+  accepted : int;
+}
+
+let accept_rate e = float_of_int e.accepted /. float_of_int (max 1 e.runs)
+
+let success_rate e =
+  if e.expected then accept_rate e else 1.0 -. accept_rate e
+
+let estimate ~rng ~runs ~oblivious alg ~ids ~expected ~instance lg =
+  let accepted = ref 0 in
+  for _ = 1 to runs do
+    let outputs = Randomized.run ~rng ~oblivious alg lg ~ids in
+    if Verdict.accepts (Verdict.of_outputs outputs) then incr accepted
+  done;
+  { instance; n = Labelled.order lg; expected; runs; accepted = !accepted }
+
+let pp ppf e =
+  Format.fprintf ppf "%-28s n=%-6d expect=%-4s accept-rate=%.3f success=%.3f"
+    e.instance e.n
+    (if e.expected then "yes" else "no")
+    (accept_rate e) (success_rate e)

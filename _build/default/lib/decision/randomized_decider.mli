@@ -1,0 +1,34 @@
+(** Monte-Carlo evaluation of randomised [(p, q)]-deciders
+    (Section 3.3): a randomised local algorithm is a [(p, q)]-decider
+    for [P] when yes-instances are accepted with probability at least
+    [p] and no-instances rejected with probability at least [q]. *)
+
+open Locald_graph
+open Locald_local
+
+type estimate = {
+  instance : string;
+  n : int;
+  expected : bool;
+  runs : int;
+  accepted : int;
+}
+
+val accept_rate : estimate -> float
+
+val success_rate : estimate -> float
+(** Fraction of runs with the correct verdict (acceptance for
+    yes-instances, rejection for no-instances). *)
+
+val estimate :
+  rng:Random.State.t ->
+  runs:int ->
+  oblivious:bool ->
+  ('a, bool) Randomized.t ->
+  ids:Ids.t option ->
+  expected:bool ->
+  instance:string ->
+  'a Labelled.t ->
+  estimate
+
+val pp : Format.formatter -> estimate -> unit

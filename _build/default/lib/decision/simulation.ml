@@ -1,0 +1,38 @@
+open Locald_graph
+open Locald_local
+
+type budget =
+  | Exhaustive of int
+  | Sampled of { bound : int; trials : int; seed : int }
+
+let assignments_of_budget budget ~k =
+  match budget with
+  | Exhaustive bound -> Ids.enumerate_injections ~n:k ~bound
+  | Sampled { bound; trials; seed } ->
+      let rng = Random.State.make [| seed; k |] in
+      Seq.init trials (fun _ -> Ids.random_below rng ~bound k)
+
+let a_star ~budget alg =
+  let name =
+    Printf.sprintf "%s*[%s]" alg.Algorithm.name
+      (match budget with
+      | Exhaustive b -> Printf.sprintf "exhaustive<%d" b
+      | Sampled { bound; trials; _ } -> Printf.sprintf "sampled %dx<%d" trials bound)
+  in
+  Algorithm.make_oblivious ~name ~radius:alg.Algorithm.radius (fun view ->
+      let k = View.order view in
+      let all_yes = ref true in
+      let check ids =
+        let view' = View.reassign_ids view (Ids.to_array ids) in
+        if not (alg.Algorithm.decide view') then all_yes := false
+      in
+      let rec scan seq =
+        if !all_yes then
+          match seq () with
+          | Seq.Nil -> ()
+          | Seq.Cons (ids, rest) ->
+              check ids;
+              scan rest
+      in
+      scan (assignments_of_budget budget ~k);
+      !all_yes)

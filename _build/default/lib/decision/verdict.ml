@@ -1,0 +1,20 @@
+type t =
+  | Accept
+  | Reject of int list
+
+let of_outputs outputs =
+  let nos = ref [] in
+  Array.iteri (fun v yes -> if not yes then nos := v :: !nos) outputs;
+  match List.rev !nos with [] -> Accept | nos -> Reject nos
+
+let accepts = function Accept -> true | Reject _ -> false
+let rejects t = not (accepts t)
+
+let pp ppf = function
+  | Accept -> Format.fprintf ppf "accept"
+  | Reject nos ->
+      Format.fprintf ppf "reject@%a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        (match nos with _ :: _ :: _ :: _ -> [ List.hd nos ] | l -> l)

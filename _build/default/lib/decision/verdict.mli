@@ -1,0 +1,12 @@
+(** Acceptance semantics of local decision (Section 1.2): a run accepts
+    when {e every} node outputs yes, and rejects when {e at least one}
+    node outputs no. *)
+
+type t =
+  | Accept
+  | Reject of int list  (** the nodes that said no (non-empty, sorted) *)
+
+val of_outputs : bool array -> t
+val accepts : t -> bool
+val rejects : t -> bool
+val pp : Format.formatter -> t -> unit

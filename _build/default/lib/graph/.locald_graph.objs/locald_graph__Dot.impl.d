@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Array Buffer Format Graph Labelled List Printf String View

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Format Graph List Random

@@ -1,0 +1,1 @@
+lib/graph/grid.ml: Array Gen Graph Hashtbl List Option

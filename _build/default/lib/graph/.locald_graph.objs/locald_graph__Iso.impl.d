@@ -1,0 +1,1 @@
+lib/graph/iso.ml: Array Fun Graph Hashtbl Int Labelled List Option Set View

@@ -1,0 +1,1 @@
+lib/graph/labelled.ml: Array Format Graph Printf

@@ -1,0 +1,1 @@
+lib/graph/labelled.mli: Format Graph

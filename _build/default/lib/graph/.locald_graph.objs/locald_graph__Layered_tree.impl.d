@@ -1,0 +1,1 @@
+lib/graph/layered_tree.ml: Array Format Graph Hashtbl Labelled List

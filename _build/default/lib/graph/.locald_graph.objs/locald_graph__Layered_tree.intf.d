@@ -1,0 +1,1 @@
+lib/graph/layered_tree.mli: Format Graph Labelled

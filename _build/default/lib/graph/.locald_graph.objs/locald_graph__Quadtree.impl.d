@@ -1,0 +1,1 @@
+lib/graph/quadtree.ml: Array Format Graph Grid Labelled List

@@ -1,0 +1,1 @@
+lib/graph/quadtree.mli: Format Graph Labelled

@@ -1,0 +1,1 @@
+lib/graph/spanning_tree.ml: Array Format Fun Graph List Queue

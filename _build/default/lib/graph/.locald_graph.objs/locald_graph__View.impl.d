@@ -1,0 +1,1 @@
+lib/graph/view.ml: Array Format Graph Hashtbl Labelled Option

@@ -1,0 +1,82 @@
+let invalid fmt = Format.kasprintf (fun s -> raise (Graph.Invalid_graph s)) fmt
+
+let path n =
+  if n < 1 then invalid "path: need n >= 1, got %d" n;
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid "cycle: need n >= 3, got %d" n;
+  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 1 then invalid "star: need n >= 1, got %d" n;
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let complete_binary_tree d =
+  if d < 0 then invalid "complete_binary_tree: negative depth %d" d;
+  let n = (1 lsl (d + 1)) - 1 in
+  let index x y = (1 lsl y) - 1 + x in
+  let edges = ref [] in
+  for y = 0 to d - 1 do
+    for x = 0 to (1 lsl y) - 1 do
+      edges := (index x y, index (2 * x) (y + 1)) :: !edges;
+      edges := (index x y, index ((2 * x) + 1) (y + 1)) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let grid w h =
+  if w < 1 || h < 1 then invalid "grid: need positive dimensions, got %dx%d" w h;
+  let index x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (index x y, index (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (index x y, index x (y + 1)) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(w * h) !edges
+
+let torus w h =
+  if w < 3 || h < 3 then invalid "torus: need dimensions >= 3, got %dx%d" w h;
+  let index x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      edges := (index x y, index ((x + 1) mod w) y) :: !edges;
+      edges := (index x y, index x ((y + 1) mod h)) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(w * h) !edges
+
+let matching k =
+  if k < 1 then invalid "matching: need k >= 1, got %d" k;
+  Graph.of_edges ~n:(2 * k) (List.init k (fun i -> (2 * i, (2 * i) + 1)))
+
+let random_graph rng ~n ~p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let random_tree rng n =
+  if n < 1 then invalid "random_tree: need n >= 1, got %d" n;
+  let edges = List.init (n - 1) (fun i -> (i + 1, Random.State.int rng (i + 1))) in
+  Graph.of_edges ~n edges
+
+let random_connected rng ~n ~p =
+  let g = random_graph rng ~n ~p in
+  let tree = random_tree rng n in
+  Graph.add_edges g (Graph.edges tree)

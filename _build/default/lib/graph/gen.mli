@@ -1,0 +1,39 @@
+(** Graph generators used by examples, tests and workloads. *)
+
+val path : int -> Graph.t
+(** [path n] is the path on [n >= 1] vertices [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the cycle on [n >= 3] vertices. *)
+
+val star : int -> Graph.t
+(** [star n] has centre [0] and leaves [1 .. n-1]. *)
+
+val complete : int -> Graph.t
+
+val complete_binary_tree : int -> Graph.t
+(** [complete_binary_tree d] is the complete binary tree of depth [d]
+    ([2^(d+1) - 1] vertices); vertex [(x, y)] at depth [y], position
+    [x], has index [2^y - 1 + x]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h] is the [w * h] square grid; vertex [(x, y)] has index
+    [y * w + x]. *)
+
+val torus : int -> int -> Graph.t
+(** Like {!grid} with wrap-around edges — locally grid-like but not a
+    grid (the counterfeit of Section 3.2). Requires [w, h >= 3]. *)
+
+val matching : int -> Graph.t
+(** [matching k] is the 1-regular graph on [2k] vertices (the
+    2-colouring example of Section 1.3). *)
+
+val random_graph : Random.State.t -> n:int -> p:float -> Graph.t
+(** Erdos-Renyi [G(n, p)]. *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** Uniform-attachment random tree on [n >= 1] vertices. *)
+
+val random_connected : Random.State.t -> n:int -> p:float -> Graph.t
+(** [random_graph] conditioned on connectivity by adding a random
+    spanning tree first. *)

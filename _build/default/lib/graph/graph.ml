@@ -1,0 +1,242 @@
+exception Invalid_graph of string
+
+type t = {
+  n : int;
+  adj : int array array;
+  m : int;
+}
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_graph s)) fmt
+
+let check_endpoint n v =
+  if v < 0 || v >= n then invalid "vertex %d out of range [0,%d)" v n
+
+let normalise_adj n adj =
+  let sets = Array.make n [] in
+  Array.iteri
+    (fun u nbrs ->
+      Array.iter
+        (fun v ->
+          check_endpoint n v;
+          if u = v then invalid "self-loop at vertex %d" u;
+          sets.(u) <- v :: sets.(u);
+          sets.(v) <- u :: sets.(v))
+        nbrs)
+    adj;
+  let dedup l = List.sort_uniq compare l in
+  Array.map (fun l -> Array.of_list (dedup l)) sets
+
+let of_adjacency adj =
+  let n = Array.length adj in
+  let adj = normalise_adj n adj in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { n; adj; m }
+
+let of_edges ~n edges =
+  if n < 0 then invalid "negative vertex count %d" n;
+  let sets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check_endpoint n u;
+      check_endpoint n v;
+      if u = v then invalid "self-loop at vertex %d" u;
+      sets.(u) <- v :: sets.(u);
+      sets.(v) <- u :: sets.(v))
+    edges;
+  let adj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sets in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { n; adj; m }
+
+let empty n =
+  if n < 0 then invalid "negative vertex count %d" n;
+  { n; adj = Array.make n [||]; m = 0 }
+
+let order g = g.n
+let size g = g.m
+
+let neighbours g v =
+  check_endpoint g.n v;
+  g.adj.(v)
+
+let degree g v = Array.length (neighbours g v)
+
+let max_degree g = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+(* Binary search in the sorted neighbour array. *)
+let mem_edge g u v =
+  check_endpoint g.n u;
+  check_endpoint g.n v;
+  let a = g.adj.(u) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length a)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let nbrs = g.adj.(u) in
+    for i = Array.length nbrs - 1 downto 0 do
+      let v = nbrs.(i) in
+      if u < v then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let fold_vertices f g init =
+  let rec go v acc = if v >= g.n then acc else go (v + 1) (f v acc) in
+  go 0 init
+
+let iter_vertices f g =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let vertices g = List.init g.n Fun.id
+
+let bfs_distances g src =
+  check_endpoint g.n src;
+  let dist = Array.make g.n max_int in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  dist
+
+let dist g u v = (bfs_distances g u).(v)
+
+(* Truncated BFS: only the ball is explored, so extracting small views
+   from very large graphs (e.g. deep layered trees) stays cheap. *)
+let ball g v t =
+  check_endpoint g.n v;
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist v 0;
+  let queue = Queue.create () in
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Hashtbl.find dist u in
+    if du < t then
+      Array.iter
+        (fun w ->
+          if not (Hashtbl.mem dist w) then begin
+            Hashtbl.replace dist w (du + 1);
+            Queue.add w queue
+          end)
+        g.adj.(u)
+  done;
+  let members = Hashtbl.fold (fun u _ acc -> u :: acc) dist [] in
+  Array.of_list (List.sort compare members)
+
+let eccentricity g v =
+  let d = bfs_distances g v in
+  Array.fold_left
+    (fun acc x ->
+      if x = max_int then invalid "eccentricity of a disconnected graph"
+      else max acc x)
+    0 d
+
+let is_connected g =
+  if g.n = 0 then true
+  else
+    let d = bfs_distances g 0 in
+    Array.for_all (fun x -> x < max_int) d
+
+let diameter g =
+  if g.n = 0 then invalid "diameter of the empty graph";
+  fold_vertices (fun v acc -> max acc (eccentricity g v)) g 0
+
+let components g =
+  let seen = Array.make g.n false in
+  let comps = ref [] in
+  for v = 0 to g.n - 1 do
+    if not seen.(v) then begin
+      let d = bfs_distances g v in
+      let comp = ref [] in
+      for u = g.n - 1 downto 0 do
+        if d.(u) < max_int then begin
+          seen.(u) <- true;
+          comp := u :: !comp
+        end
+      done;
+      comps := Array.of_list !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let induced g vs =
+  let back = Array.copy vs in
+  Array.sort compare back;
+  let k = Array.length back in
+  for i = 1 to k - 1 do
+    if back.(i) = back.(i - 1) then invalid "induced: duplicate vertex %d" back.(i)
+  done;
+  Array.iter (check_endpoint g.n) back;
+  let fwd = Hashtbl.create (2 * k) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  let adj =
+    Array.map
+      (fun v ->
+        let nbrs =
+          Array.to_list g.adj.(v)
+          |> List.filter_map (fun u -> Hashtbl.find_opt fwd u)
+        in
+        Array.of_list (List.sort compare nbrs))
+      back
+  in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  ({ n = k; adj; m }, back)
+
+let disjoint_union g h =
+  let shift = g.n in
+  let adj =
+    Array.append (Array.map Array.copy g.adj)
+      (Array.map (Array.map (fun v -> v + shift)) h.adj)
+  in
+  { n = g.n + h.n; adj; m = g.m + h.m }
+
+let add_edges g new_edges =
+  of_edges ~n:g.n (new_edges @ edges g)
+
+let add_vertices g k =
+  if k < 0 then invalid "add_vertices: negative count %d" k;
+  { n = g.n + k; adj = Array.append g.adj (Array.make k [||]); m = g.m }
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid "relabel: permutation length mismatch";
+  let seen = Array.make g.n false in
+  Array.iter
+    (fun v ->
+      check_endpoint g.n v;
+      if seen.(v) then invalid "relabel: not a permutation (duplicate %d)" v;
+      seen.(v) <- true)
+    perm;
+  of_edges ~n:g.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let equal g h = g.n = h.n && g.adj = h.adj
+
+let is_regular g d = fold_vertices (fun v acc -> acc && degree g v = d) g true
+
+let is_cycle g = g.n >= 3 && g.m = g.n && is_regular g 2 && is_connected g
+
+let is_path_graph g =
+  g.n >= 1 && g.m = g.n - 1 && is_connected g && max_degree g <= 2
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>graph(n=%d, m=%d:" g.n g.m;
+  List.iter (fun (u, v) -> Format.fprintf ppf "@ %d-%d" u v) (edges g);
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,121 @@
+(** Immutable simple undirected graphs on vertices [0 .. n-1].
+
+    This is the basic substrate for the whole library: the LOCAL-model
+    simulator, the paper's constructions (layered trees, execution-table
+    grids, pyramids) and the view/isomorphism machinery are all built on
+    top of this module. *)
+
+type t
+(** A simple undirected graph. Vertices are integers [0 .. n-1]; no
+    self-loops, no parallel edges. The representation is immutable. *)
+
+exception Invalid_graph of string
+(** Raised by constructors on malformed input (self-loop, out-of-range
+    endpoint, ...). *)
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph on [n] vertices with the given
+    edge list. Duplicate edges (in either orientation) are merged.
+    @raise Invalid_graph on self-loops or out-of-range endpoints. *)
+
+val of_adjacency : int array array -> t
+(** [of_adjacency adj] builds a graph from an adjacency-list array.
+    The input is normalised (sorted, deduplicated) and symmetrised.
+    @raise Invalid_graph on self-loops or out-of-range endpoints. *)
+
+val empty : int -> t
+(** [empty n] is the edgeless graph on [n] vertices. *)
+
+(** {1 Basic accessors} *)
+
+val order : t -> int
+(** Number of vertices. *)
+
+val size : t -> int
+(** Number of edges. *)
+
+val neighbours : t -> int -> int array
+(** [neighbours g v] is the sorted array of neighbours of [v]. The
+    returned array must not be mutated. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests adjacency in O(log degree). *)
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], lexicographically sorted. *)
+
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_vertices : (int -> unit) -> t -> unit
+
+val vertices : t -> int list
+
+(** {1 Distances and balls} *)
+
+val bfs_distances : t -> int -> int array
+(** [bfs_distances g v] maps each vertex to its hop distance from [v];
+    unreachable vertices get [max_int]. *)
+
+val dist : t -> int -> int -> int
+(** Hop distance, [max_int] if disconnected. *)
+
+val ball : t -> int -> int -> int array
+(** [ball g v t] is the sorted array of vertices within distance [t] of
+    [v] (the set B(v,t) of the paper). *)
+
+val eccentricity : t -> int -> int
+(** Maximum finite distance from the given vertex.
+    @raise Invalid_graph if the graph is disconnected. *)
+
+val diameter : t -> int
+(** @raise Invalid_graph if the graph is disconnected or empty. *)
+
+val is_connected : t -> bool
+(** The empty graph counts as connected. *)
+
+val components : t -> int array list
+(** Connected components as sorted vertex arrays. *)
+
+(** {1 Transformations} *)
+
+val induced : t -> int array -> t * int array
+(** [induced g vs] is the subgraph induced on the vertex set [vs]
+    (which must be duplicate-free). Returns [(h, back)] where vertex
+    [i] of [h] corresponds to vertex [back.(i)] of [g]; [back] is
+    sorted so the mapping is canonical. *)
+
+val disjoint_union : t -> t -> t
+(** [disjoint_union g h] places [h] after [g]: vertex [v] of [h]
+    becomes [order g + v]. *)
+
+val add_edges : t -> (int * int) list -> t
+(** Add edges between existing vertices. *)
+
+val add_vertices : t -> int -> t
+(** [add_vertices g k] appends [k] isolated vertices. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0 .. n-1]. The result is isomorphic to [g]. *)
+
+(** {1 Predicates} *)
+
+val equal : t -> t -> bool
+(** Structural equality of the concrete representations (same vertex
+    numbering); use {!Iso} for isomorphism. *)
+
+val is_cycle : t -> bool
+(** Is the graph a single cycle on >= 3 vertices? *)
+
+val is_path_graph : t -> bool
+(** Is the graph a simple path (n >= 1)? *)
+
+val is_regular : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

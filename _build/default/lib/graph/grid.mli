@@ -1,0 +1,49 @@
+(** Square grids with the [(x mod 3, y mod 3)] orientation labelling of
+    Section 3.2.
+
+    The execution table of a Turing machine is laid out on such a grid;
+    the mod-3 labels let every node identify, purely locally, which of
+    its neighbours sit to its left/right/top/bottom, supplying the
+    top-to-bottom and left-to-right edge orientations the table rules
+    need. *)
+
+type coord = { x : int; y : int }
+
+val index : w:int -> coord -> int
+(** Row-major index: [(y * w) + x]. *)
+
+val coord_of_index : w:int -> int -> coord
+
+val graph : w:int -> h:int -> Graph.t
+(** The [w * h] grid graph (alias of {!Gen.grid}). *)
+
+val mod3 : ?phase:int * int -> coord -> int * int
+(** The orientation label of a cell; [phase] shifts the origin (the
+    fragment collection enumerates all 9 phases so that a fragment can
+    impersonate any window of the real table). *)
+
+type dir = Left | Right | Up | Down
+
+val opposite : dir -> dir
+
+val step_mod3 : int * int -> dir -> int * int
+(** The orientation label expected of the neighbour in the given
+    direction. *)
+
+val dir_between : int * int -> int * int -> dir option
+(** [dir_between a b] is the direction [d] such that
+    [step_mod3 a d = b], if the two labels are mod-3 adjacent in a
+    unique direction. Diagonal or equal labels give [None]. *)
+
+val locally_oriented :
+  mod3_of:(int -> int * int) -> Graph.t -> int -> bool
+(** [locally_oriented ~mod3_of g v] checks the node-local grid
+    orientation condition at [v]: every incident edge goes in a
+    well-defined direction and no two incident edges go in the same
+    direction. This is the radius-1 test each node performs; it does
+    not (and cannot) exclude tori — that is the pyramid's job. *)
+
+val neighbour_in_dir :
+  mod3_of:(int -> int * int) -> Graph.t -> int -> dir -> int option
+(** The unique neighbour in direction [dir], if any. Meaningful only
+    at nodes passing {!locally_oriented}. *)

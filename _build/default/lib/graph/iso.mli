@@ -1,0 +1,36 @@
+(** Graph, labelled-graph and rooted-view isomorphism.
+
+    The separation proofs of the paper rest on local indistinguishability:
+    every [t]-view of a no-instance already occurs (up to isomorphism of
+    rooted labelled views) in some yes-instance. This module provides the
+    exact isomorphism tests used by those experiments, plus a cheap
+    canonical signature for bucketing views before the exact test. *)
+
+val graphs_isomorphic : Graph.t -> Graph.t -> bool
+
+val find_graph_isomorphism : Graph.t -> Graph.t -> int array option
+(** [find_graph_isomorphism g h] returns a bijection [p] with
+    [p.(u) = image of u] such that [u ~ v] in [g] iff [p u ~ p v] in
+    [h], if one exists. *)
+
+val labelled_isomorphic :
+  ('a -> 'a -> bool) -> 'a Labelled.t -> 'a Labelled.t -> bool
+(** Isomorphism that must preserve node labels (up to the given label
+    equality). This is the paper's notion of labelled-graph
+    isomorphism invariance. *)
+
+val views_isomorphic : ('a -> 'a -> bool) -> 'a View.t -> 'a View.t -> bool
+(** Rooted isomorphism: centre maps to centre and labels are preserved.
+    Identifiers are deliberately ignored — two views are isomorphic
+    exactly when an Id-oblivious algorithm cannot tell them apart. *)
+
+val view_signature : ('a -> int) -> 'a View.t -> int
+(** [view_signature hash v] is invariant under rooted labelled
+    isomorphism (given that [hash] respects the label equality used in
+    {!views_isomorphic}): isomorphic views get equal signatures. Used
+    to bucket views; collisions are resolved by the exact test. *)
+
+val refine_colors : Graph.t -> int array -> int array
+(** One-graph 1-WL colour refinement to a fixpoint, with canonical
+    colour numbering: the output colours of isomorphic coloured graphs
+    are equal as multisets. Exposed for tests. *)

@@ -1,0 +1,40 @@
+(** Labelled graphs [(G, x)]: a graph together with a local input label
+    on every node (Section 1.2 of the paper). *)
+
+type 'a t = private {
+  graph : Graph.t;
+  labels : 'a array;
+}
+(** Invariant: [Array.length labels = Graph.order graph]. *)
+
+val make : Graph.t -> 'a array -> 'a t
+(** @raise Graph.Invalid_graph if the label array length differs from
+    the graph order. *)
+
+val const : Graph.t -> 'a -> 'a t
+(** Every node gets the same label. *)
+
+val init : Graph.t -> (int -> 'a) -> 'a t
+
+val graph : 'a t -> Graph.t
+val label : 'a t -> int -> 'a
+val labels : 'a t -> 'a array
+val order : 'a t -> int
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val mapi : (int -> 'a -> 'b) -> 'a t -> 'b t
+
+val relabel_nodes : 'a t -> int array -> 'a t
+(** [relabel_nodes lg perm] renames node [v] to [perm.(v)], carrying
+    labels along; the result is isomorphic to [lg] as a labelled graph. *)
+
+val induced : 'a t -> int array -> 'a t * int array
+(** Induced labelled subgraph; see {!Graph.induced}. *)
+
+val disjoint_union : 'a t -> 'a t -> 'a t
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** Representation equality (same numbering); use {!Iso} for
+    isomorphism. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,76 @@
+(** Layered trees (Figure 1): a complete [arity]-ary tree of depth [d]
+    in which the nodes of each level are additionally connected by a
+    path in the natural order. Every node is labelled with its
+    coordinates [(x, y)] (position [x] within level [y]) plus the
+    construction parameter [r].
+
+    [arity = 2] is the paper's construction. [arity = 1] degenerates
+    to a "layered path", which realises the same separation argument
+    with instances of linear (rather than doubly-exponential) size; the
+    experiment harness uses it to run the full view-coverage
+    experiment at horizons [t >= 1] within memory (see DESIGN.md,
+    substitutions). *)
+
+type label = { r : int; x : int; y : int }
+
+val equal_label : label -> label -> bool
+val pp_label : Format.formatter -> label -> unit
+
+val level_width : arity:int -> int -> int
+(** [level_width ~arity y] is the number of nodes on level [y]
+    ([arity^y]). *)
+
+val level_offset : arity:int -> int -> int
+(** Index of the first node of level [y]. *)
+
+val node_index : arity:int -> x:int -> y:int -> int
+
+val order : arity:int -> depth:int -> int
+(** Total number of nodes of the depth-[depth] layered tree. *)
+
+val make : arity:int -> r:int -> depth:int -> label Labelled.t
+(** The layered tree [T] of the given depth, labelled with
+    coordinates. [T_r] of the paper is [make ~arity:2 ~r ~depth:(R r)].
+    @raise Graph.Invalid_graph if [arity < 1] or [depth < 0]. *)
+
+(** {1 Cones: the induced sub-instances H <=_r T} *)
+
+val apexes : arity:int -> depth:int -> r:int -> (int * int) list
+(** All apex positions [(x0, y0)] whose depth-[r] descendant cone fits
+    inside a depth-[depth] tree ([y0 + r <= depth]). *)
+
+val cone : arity:int -> apex:int * int -> r:int -> int array
+(** Vertex indices (in the big tree) of the depth-[r] cone below the
+    apex: levels [y0 .. y0 + r], positions
+    [x0 * arity^k .. (x0+1) * arity^k - 1] at level [y0 + k]. The
+    induced subgraph on a cone is a layered depth-[r] tree. *)
+
+val cone_border : arity:int -> depth:int -> apex:int * int -> r:int -> int array
+(** The border nodes of the cone: members with at least one neighbour
+    of the depth-[depth] tree outside the cone. *)
+
+(** {1 Local structure checking} *)
+
+type node_check = {
+  label_ok : bool;        (** coordinates in range for the tree *)
+  missing : label list;   (** expected neighbours absent at this node *)
+  unexpected_tree : int list;
+      (** tree-labelled neighbours that should not be adjacent *)
+  foreign : int list;     (** neighbours carrying no tree label *)
+}
+
+val inspect :
+  arity:int ->
+  depth:int ->
+  label_of:(int -> label option) ->
+  Graph.t ->
+  int ->
+  node_check option
+(** Radius-1 structural inspection of a node against the layered-tree
+    rules for a depth-[depth] tree. Returns [None] when the node
+    itself carries no tree label. Interior nodes of a genuine tree
+    yield [{ label_ok = true; missing = []; unexpected_tree = [];
+    foreign = [] }]; border nodes of a cone report their missing
+    neighbours and their pivot edge as [foreign]. *)
+
+val is_interior_ok : node_check -> bool

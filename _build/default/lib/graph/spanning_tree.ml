@@ -1,0 +1,76 @@
+type t = {
+  root : int;
+  parent : int array;
+  dist : int array;
+}
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Graph.Invalid_graph s)) fmt
+
+let bfs g ~root =
+  let n = Graph.order g in
+  if root < 0 || root >= n then invalid "spanning tree: root %d out of range" root;
+  let parent = Array.make n (-1) in
+  let dist = Array.make n max_int in
+  parent.(root) <- root;
+  dist.(root) <- 0;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if parent.(v) < 0 then begin
+          parent.(v) <- u;
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (Graph.neighbours g u)
+  done;
+  if Array.exists (fun p -> p < 0) parent then
+    invalid "spanning tree: graph is disconnected";
+  { root; parent; dist }
+
+let parent t v = t.parent.(v)
+let dist t v = t.dist.(v)
+let is_root t v = t.root = v
+
+let children t v =
+  let acc = ref [] in
+  Array.iteri
+    (fun u p -> if p = v && u <> t.root then acc := u :: !acc)
+    t.parent;
+  List.sort compare !acc
+
+let subtree_sizes t =
+  let n = Array.length t.parent in
+  let sizes = Array.make n 1 in
+  (* Process nodes in decreasing distance, adding to parents. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare t.dist.(b) t.dist.(a)) order;
+  Array.iter
+    (fun v -> if v <> t.root then sizes.(t.parent.(v)) <- sizes.(t.parent.(v)) + sizes.(v))
+    order;
+  sizes
+
+let tree_edges t =
+  Array.to_list (Array.mapi (fun v p -> (v, p)) t.parent)
+  |> List.filter (fun (v, _) -> v <> t.root)
+  |> List.map (fun (v, p) -> if v < p then (v, p) else (p, v))
+  |> List.sort_uniq compare
+
+let validate g t =
+  let n = Graph.order g in
+  Array.length t.parent = n
+  && t.root >= 0 && t.root < n
+  && t.parent.(t.root) = t.root
+  && t.dist.(t.root) = 0
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun v p ->
+      if v <> t.root then begin
+        if not (Graph.mem_edge g v p) then ok := false;
+        if t.dist.(v) <> t.dist.(p) + 1 then ok := false
+      end)
+    t.parent;
+  !ok

@@ -1,0 +1,29 @@
+(** Rooted spanning trees (BFS), used by the proof-labelling schemes
+    and as a general substrate. *)
+
+type t = private {
+  root : int;
+  parent : int array;   (** [parent.(root) = root] *)
+  dist : int array;     (** hop distance from the root *)
+}
+
+val bfs : Graph.t -> root:int -> t
+(** @raise Graph.Invalid_graph if the graph is disconnected. *)
+
+val parent : t -> int -> int
+val dist : t -> int -> int
+val is_root : t -> int -> bool
+
+val children : t -> int -> int list
+(** Children of a node in the tree (sorted). *)
+
+val subtree_sizes : t -> int array
+(** [sizes.(v)] = number of nodes in [v]'s subtree (the root's is
+    [n]). *)
+
+val tree_edges : t -> (int * int) list
+(** The [n - 1] tree edges, normalised and sorted. *)
+
+val validate : Graph.t -> t -> bool
+(** Parents are neighbours, distances decrease along parents, exactly
+    one root. *)

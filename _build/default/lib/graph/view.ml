@@ -1,0 +1,95 @@
+type 'a t = {
+  center : int;
+  radius : int;
+  graph : Graph.t;
+  labels : 'a array;
+  ids : int array option;
+}
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Graph.Invalid_graph s)) fmt
+
+let check_ids n = function
+  | None -> ()
+  | Some ids ->
+      if Array.length ids <> n then
+        invalid "view: %d ids for %d nodes" (Array.length ids) n;
+      let tbl = Hashtbl.create (2 * n) in
+      Array.iter
+        (fun id ->
+          if id < 0 then invalid "view: negative identifier %d" id;
+          if Hashtbl.mem tbl id then invalid "view: duplicate identifier %d" id;
+          Hashtbl.replace tbl id ())
+        ids
+
+let extract ?ids lg ~center ~radius =
+  if radius < 0 then invalid "view: negative radius %d" radius;
+  (match ids with
+  | Some ids when Array.length ids <> Labelled.order lg ->
+      invalid "view: %d ids for %d nodes" (Array.length ids) (Labelled.order lg)
+  | Some _ | None -> ());
+  let ball = Graph.ball (Labelled.graph lg) center radius in
+  let sub, back = Labelled.induced lg ball in
+  (* [back] is sorted, so locate the centre's new index by search. *)
+  let new_center = ref (-1) in
+  Array.iteri (fun i v -> if v = center then new_center := i) back;
+  assert (!new_center >= 0);
+  let ids = Option.map (fun ids -> Array.map (fun v -> ids.(v)) back) ids in
+  (* Injectivity is validated on the restriction only: global
+     injectivity is the input assignment's own invariant (enforced by
+     Ids.of_array), and an O(n) check here would make whole-graph runs
+     quadratic. *)
+  check_ids (Labelled.order sub) ids;
+  {
+    center = !new_center;
+    radius;
+    graph = Labelled.graph sub;
+    labels = Labelled.labels sub;
+    ids;
+  }
+
+let of_parts ?ids ~center ~radius lg =
+  let g = Labelled.graph lg in
+  if center < 0 || center >= Graph.order g then
+    invalid "view: centre %d out of range" center;
+  check_ids (Graph.order g) ids;
+  let d = Graph.bfs_distances g center in
+  Array.iter
+    (fun x ->
+      if x > radius then invalid "view: node beyond the stated radius %d" radius)
+    d;
+  { center; radius; graph = g; labels = Labelled.labels lg; ids }
+
+let strip_ids view = { view with ids = None }
+let order view = Graph.order view.graph
+let center_label view = view.labels.(view.center)
+
+let center_id view =
+  match view.ids with
+  | None -> raise Not_found
+  | Some ids -> ids.(view.center)
+
+let dist_from_center view = Graph.bfs_distances view.graph view.center
+
+let map_labels f view = { view with labels = Array.map f view.labels }
+
+let reassign_ids view ids =
+  check_ids (order view) (Some ids);
+  { view with ids = Some ids }
+
+let equal_repr eq a b =
+  a.center = b.center && a.radius = b.radius
+  && Graph.equal a.graph b.graph
+  && Array.for_all2 eq a.labels b.labels
+  && a.ids = b.ids
+
+let pp pp_label ppf view =
+  Format.fprintf ppf "@[<v 2>view(centre=%d, radius=%d) %a" view.center
+    view.radius Graph.pp view.graph;
+  Array.iteri
+    (fun v x ->
+      Format.fprintf ppf "@ x(%d)=%a%t" v pp_label x (fun ppf ->
+          match view.ids with
+          | Some ids -> Format.fprintf ppf " id=%d" ids.(v)
+          | None -> ()))
+    view.labels;
+  Format.fprintf ppf "@]"

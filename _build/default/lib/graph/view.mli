@@ -1,0 +1,54 @@
+(** Rooted local views: the structure [(G, x, Id) |> B(v, t)] that a
+    node [v] sees after [t] communication rounds in the LOCAL model.
+
+    A view is an induced ball, re-indexed to [0 .. k-1], with a
+    distinguished centre, the node labels, and optionally the node
+    identifiers. Id-oblivious algorithms receive views with
+    [ids = None]. *)
+
+type 'a t = private {
+  center : int;           (** index of the view's root *)
+  radius : int;           (** the horizon [t] it was extracted at *)
+  graph : Graph.t;        (** induced ball, re-indexed *)
+  labels : 'a array;      (** local inputs *)
+  ids : int array option; (** identifiers, or [None] when oblivious *)
+}
+
+val extract : ?ids:int array -> 'a Labelled.t -> center:int -> radius:int -> 'a t
+(** [extract ?ids lg ~center ~radius] is the view of node [center] in
+    [lg] at horizon [radius]. When [ids] is given it must assign a
+    distinct identifier to every node of [lg]; for efficiency only the
+    restriction to the ball is re-validated here (global injectivity
+    is the identifier layer's invariant).
+    @raise Graph.Invalid_graph on a malformed id assignment. *)
+
+val of_parts :
+  ?ids:int array -> center:int -> radius:int -> 'a Labelled.t -> 'a t
+(** Wrap an already-extracted ball (used by generators that enumerate
+    syntactically possible views, e.g. the neighbourhood generator [B]
+    of Section 3). [center] must lie in the graph and every node must
+    be within [radius] of it. *)
+
+val strip_ids : 'a t -> 'a t
+(** Forget the identifiers: what an Id-oblivious algorithm sees. *)
+
+val order : 'a t -> int
+
+val center_label : 'a t -> 'a
+
+val center_id : 'a t -> int
+(** @raise Not_found if the view carries no ids. *)
+
+val dist_from_center : 'a t -> int array
+(** Distance of each view node from the centre. *)
+
+val map_labels : ('a -> 'b) -> 'a t -> 'b t
+
+val reassign_ids : 'a t -> int array -> 'a t
+(** Replace the id assignment (must be injective over the view). *)
+
+val equal_repr : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** Equality of concrete representations; use {!Iso.views_isomorphic}
+    for equality up to isomorphism. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

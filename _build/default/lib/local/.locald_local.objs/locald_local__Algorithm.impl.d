@@ -1,0 +1,1 @@
+lib/local/algorithm.ml: Locald_graph View

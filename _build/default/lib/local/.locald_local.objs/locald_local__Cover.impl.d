@@ -1,0 +1,1 @@
+lib/local/cover.ml: Array Format Graph Hashtbl Labelled List Locald_graph Stdlib

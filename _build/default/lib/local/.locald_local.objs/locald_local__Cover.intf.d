@@ -1,0 +1,1 @@
+lib/local/cover.mli: Format Labelled Locald_graph

@@ -1,0 +1,1 @@
+lib/local/ids.ml: Array Format Fun Hashtbl List Printf Random Seq

@@ -1,0 +1,1 @@
+lib/local/models.ml: Algorithm Array Format Graph Hashtbl Ids Labelled List Locald_graph Oblivious Random Runner View

@@ -1,0 +1,1 @@
+lib/local/models.mli: Algorithm Labelled Locald_graph Oblivious Random View

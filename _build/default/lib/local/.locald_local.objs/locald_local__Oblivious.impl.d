@@ -1,0 +1,1 @@
+lib/local/oblivious.ml: Array Ids Labelled Locald_graph Runner Seq

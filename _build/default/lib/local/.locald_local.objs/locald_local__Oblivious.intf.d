@@ -1,0 +1,1 @@
+lib/local/oblivious.mli: Algorithm Ids Labelled Locald_graph Random

@@ -1,0 +1,1 @@
+lib/local/protocol.ml: Array Graph Ids Labelled Locald_graph Printf

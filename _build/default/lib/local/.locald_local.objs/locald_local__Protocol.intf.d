@@ -1,0 +1,1 @@
+lib/local/protocol.mli: Ids Labelled Locald_graph

@@ -1,0 +1,1 @@
+lib/local/randomized.ml: Array Ids Labelled Locald_graph Random View

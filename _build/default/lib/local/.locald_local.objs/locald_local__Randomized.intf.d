@@ -1,0 +1,1 @@
+lib/local/randomized.mli: Ids Labelled Locald_graph Random View

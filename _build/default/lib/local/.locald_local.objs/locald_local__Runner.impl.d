@@ -1,0 +1,1 @@
+lib/local/runner.ml: Algorithm Array Graph Hashtbl Ids Labelled List Locald_graph Printf View

@@ -1,0 +1,1 @@
+lib/local/runner.mli: Algorithm Ids Labelled Locald_graph

@@ -1,0 +1,1 @@
+lib/local/symmetry.ml: Array Gen Graph Hashtbl Ids Labelled List Locald_graph Option Protocol

@@ -1,0 +1,1 @@
+lib/local/symmetry.mli: Graph Ids Labelled Locald_graph Protocol

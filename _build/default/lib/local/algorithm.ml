@@ -1,0 +1,30 @@
+open Locald_graph
+
+type ('a, 'o) t = {
+  name : string;
+  radius : int;
+  decide : 'a View.t -> 'o;
+}
+
+type ('a, 'o) oblivious = {
+  ob_name : string;
+  ob_radius : int;
+  ob_decide : 'a View.t -> 'o;
+}
+
+let make ~name ~radius decide =
+  if radius < 0 then invalid_arg "Algorithm.make: negative radius";
+  { name; radius; decide }
+
+let make_oblivious ~name ~radius ob_decide =
+  if radius < 0 then invalid_arg "Algorithm.make_oblivious: negative radius";
+  { ob_name = name; ob_radius = radius; ob_decide }
+
+let of_oblivious ob =
+  {
+    name = ob.ob_name;
+    radius = ob.ob_radius;
+    decide = (fun view -> ob.ob_decide (View.strip_ids view));
+  }
+
+let map_output f t = { t with decide = (fun view -> f (t.decide view)) }

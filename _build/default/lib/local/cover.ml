@@ -1,0 +1,83 @@
+open Locald_graph
+
+type 'a t = Node of 'a * 'a t list
+
+let label (Node (x, _)) = x
+let children (Node (_, cs)) = cs
+
+let rec depth (Node (_, cs)) =
+  match cs with [] -> 0 | _ -> 1 + List.fold_left (fun a c -> max a (depth c)) 0 cs
+
+let rec size (Node (_, cs)) = 1 + List.fold_left (fun a c -> a + size c) 0 cs
+
+(* Canonical construction: children sorted by the (already canonical)
+   structural order, so polymorphic comparison is semantic. *)
+let rec build lg ~node ~depth =
+  let x = Labelled.label lg node in
+  if depth = 0 then Node (x, [])
+  else
+    let cs =
+      Graph.neighbours (Labelled.graph lg) node
+      |> Array.to_list
+      |> List.map (fun u -> build lg ~node:u ~depth:(depth - 1))
+      |> List.sort Stdlib.compare
+    in
+    Node (x, cs)
+
+let view_tree lg ~node ~depth =
+  if depth < 0 then invalid_arg "Cover.view_tree: negative depth";
+  build lg ~node ~depth
+
+let equal a b = Stdlib.compare a b = 0
+
+let classes lg ~depth =
+  let n = Labelled.order lg in
+  let table = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  Array.init n (fun v ->
+      let t = view_tree lg ~node:v ~depth in
+      match Hashtbl.find_opt table t with
+      | Some c -> c
+      | None ->
+          let c = !next in
+          incr next;
+          Hashtbl.replace table t c;
+          c)
+
+let count_classes lg ~depth =
+  let cls = classes lg ~depth in
+  Array.fold_left max (-1) cls + 1
+
+let stable_depth lg =
+  let n = Labelled.order lg in
+  let rec go d prev =
+    if d > max 1 (n - 1) then d - 1
+    else
+      let k = count_classes lg ~depth:d in
+      if k = prev then d - 1 else go (d + 1) k
+  in
+  if n = 0 then 0 else go 1 (count_classes lg ~depth:0)
+
+let indistinguishable_nodes lg ~depth =
+  let cls = classes lg ~depth in
+  let seen = Hashtbl.create 16 in
+  let n = Array.length cls in
+  let rec scan v =
+    if v >= n then None
+    else
+      match Hashtbl.find_opt seen cls.(v) with
+      | Some u -> Some (u, v)
+      | None ->
+          Hashtbl.replace seen cls.(v) v;
+          scan (v + 1)
+  in
+  scan 0
+
+let rec pp pp_label ppf (Node (x, cs)) =
+  match cs with
+  | [] -> Format.fprintf ppf "%a" pp_label x
+  | _ ->
+      Format.fprintf ppf "@[<hov 2>%a(%a)@]" pp_label x
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (pp pp_label))
+        cs

@@ -1,0 +1,51 @@
+(** Truncated view trees (universal covers) — the classical
+    Yamashita-Kameda machinery of anonymous computation.
+
+    The depth-[d] view tree of a node unfolds the graph from that node:
+    the root carries the node's label and its children are the
+    depth-[d-1] view trees of its neighbours (all of them — walks may
+    backtrack). Two nodes with equal view trees receive equal outputs
+    from {e any} anonymous algorithm; Id-oblivious algorithms in the
+    paper's model are stronger (they see the ball's actual topology,
+    which the view tree only covers), so view-tree equality is a
+    fortiori an obstruction for them: if all depth-[d] view trees of
+    two instances coincide, no oblivious radius-[d] algorithm can
+    separate the instances.
+
+    Trees are kept in canonical form (children sorted), so structural
+    equality is semantic equality. Sizes grow like [degree^depth]:
+    meant for small graphs and depths. *)
+
+open Locald_graph
+
+type 'a t = private Node of 'a * 'a t list
+(** Canonical: children sorted (by structure, then label). *)
+
+val label : 'a t -> 'a
+val children : 'a t -> 'a t list
+val depth : 'a t -> int
+val size : 'a t -> int
+
+val view_tree : 'a Labelled.t -> node:int -> depth:int -> 'a t
+(** The depth-[d] view tree of a node. *)
+
+val equal : 'a t -> 'a t -> bool
+
+val classes : 'a Labelled.t -> depth:int -> int array
+(** Partition the nodes by view-tree equality at the given depth:
+    [classes lg ~depth] maps each node to a class index in
+    [0 .. k-1]. *)
+
+val count_classes : 'a Labelled.t -> depth:int -> int
+
+val stable_depth : 'a Labelled.t -> int
+(** The depth at which the view-tree partition stops refining (classic
+    bound: at most [n - 1]; the search stops there). Nodes in the same
+    class at this depth are view-equivalent at {e every} depth. *)
+
+val indistinguishable_nodes : 'a Labelled.t -> depth:int -> (int * int) option
+(** Two distinct nodes with equal depth-[d] view trees, if any — a
+    certified obstruction for anonymous symmetry breaking. *)
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,37 @@
+(** Checking Id-obliviousness empirically.
+
+    An algorithm is Id-oblivious when its node outputs are invariant
+    under every reassignment of identifiers. For small instances this
+    can be checked exhaustively over a bounded identifier window; in
+    general it is sampled. A single witness of variance proves an
+    algorithm is *not* oblivious (that is the content of Theorem 1:
+    some properties force the outputs to depend on the assignment). *)
+
+open Locald_graph
+
+type witness = {
+  node : int;
+  ids_a : Ids.t;
+  ids_b : Ids.t;
+}
+(** A node whose output differs under two assignments. *)
+
+val find_variance_sampled :
+  rng:Random.State.t ->
+  trials:int ->
+  regime:Ids.regime ->
+  ('a, 'o) Algorithm.t ->
+  'a Labelled.t ->
+  witness option
+(** Sample assignment pairs valid under the regime and look for an
+    output that changes. [None] means no variance was observed (the
+    algorithm behaved obliviously on this instance). *)
+
+val find_variance_exhaustive :
+  bound:int ->
+  ('a, 'o) Algorithm.t ->
+  'a Labelled.t ->
+  witness option
+(** Compare the outputs under {e every} injective assignment into
+    [0 .. bound-1] against the first one. Exponential; use only on
+    small instances. *)

@@ -1,0 +1,40 @@
+(** Stateful synchronous protocols — the constructive side of the
+    LOCAL model.
+
+    Where {!Algorithm} captures constant-horizon decision (a function
+    of the view), construction algorithms run for many rounds and keep
+    state: each round every live node broadcasts a message, receives
+    its neighbours' messages (in port order) and updates its state. A
+    node that halts keeps rebroadcasting its final message, so
+    neighbours can still read its result — the standard convention.
+
+    Section 1.3 of the paper contrasts the two uses of identifiers:
+    construction algorithms (e.g. Cole-Vishkin colour reduction,
+    {!Symmetry}) use them as {e symmetry breakers} — only distinctness
+    and order matter — while the paper's decision separations exploit
+    their {e magnitude}. *)
+
+open Locald_graph
+
+type ('i, 's, 'm) t = {
+  proto_name : string;
+  init : id:int -> degree:int -> input:'i -> 's;
+  round : 's -> received:'m array -> 's;
+      (** [received.(k)] is the message of the [k]-th neighbour (in
+          sorted adjacency order). *)
+  emit : 's -> 'm;
+  halted : 's -> bool;
+}
+
+type outcome = {
+  rounds_used : int;
+  all_halted : bool;
+}
+
+val run :
+  max_rounds:int ->
+  ('i, 's, 'm) t ->
+  'i Labelled.t ->
+  ids:Ids.t ->
+  's array * outcome
+(** Run until every node halts or the round budget is exhausted. *)

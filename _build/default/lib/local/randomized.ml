@@ -1,0 +1,36 @@
+open Locald_graph
+
+type ('a, 'o) t = {
+  name : string;
+  radius : int;
+  decide : Random.State.t -> 'a View.t -> 'o;
+}
+
+let make ~name ~radius decide =
+  if radius < 0 then invalid_arg "Randomized.make: negative radius";
+  { name; radius; decide }
+
+let run ~rng ~oblivious t lg ~ids =
+  let n = Labelled.order lg in
+  let ids =
+    match ids with
+    | Some ids -> Some (Ids.to_array ids)
+    | None ->
+        if oblivious then None
+        else invalid_arg "Randomized.run: non-oblivious run needs ids"
+  in
+  Array.init n (fun v ->
+      let node_rng = Random.State.make [| Random.State.bits rng; v |] in
+      let view = View.extract ?ids lg ~center:v ~radius:t.radius in
+      let view = if oblivious then View.strip_ids view else view in
+      t.decide node_rng view)
+
+let geometric rng =
+  let rec go l = if Random.State.bool rng then l else go (l + 1) in
+  go 1
+
+let four_pow_capped ~cap l =
+  let rec go acc k =
+    if k = 0 then acc else if acc > cap / 4 then cap else go (4 * acc) (k - 1)
+  in
+  go 1 l

@@ -1,0 +1,34 @@
+(** Randomised local algorithms (Section 3.3).
+
+    Every node holds an unbounded stream of private random bits; an
+    Id-oblivious randomised algorithm is a function of the
+    identifier-free view and its own coin stream. The [(p,q)]-decider
+    semantics is evaluated by Monte-Carlo estimation in
+    {!Locald_decision}. *)
+
+open Locald_graph
+
+type ('a, 'o) t = {
+  name : string;
+  radius : int;
+  decide : Random.State.t -> 'a View.t -> 'o;
+      (** The state is the node's private coin stream. *)
+}
+
+val make :
+  name:string -> radius:int -> (Random.State.t -> 'a View.t -> 'o) -> ('a, 'o) t
+
+val run :
+  rng:Random.State.t -> oblivious:bool -> ('a, 'o) t ->
+  'a Labelled.t -> ids:Ids.t option -> 'o array
+(** One execution: each node gets an independent coin stream derived
+    from [rng]. With [oblivious], views are stripped of identifiers
+    ([ids] may then be [None]). *)
+
+val geometric : Random.State.t -> int
+(** Number of tosses until the first head (at least 1): the [l_v] of
+    Corollary 1's decider. *)
+
+val four_pow_capped : cap:int -> int -> int
+(** [4^l], saturating at [cap] — the [n_v := 4^l_v] fuel with an
+    explicit overflow guard. *)

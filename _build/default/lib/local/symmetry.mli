@@ -1,0 +1,75 @@
+(** Symmetry breaking with identifiers: Cole-Vishkin colour reduction
+    on directed cycles.
+
+    The counterpoint to the paper's decision separations: here
+    identifiers are used exactly the way Section 1.3 describes as
+    typical — as symmetry breakers whose distinctness is everything
+    and whose magnitude is (almost) nothing. Starting from the
+    identifiers as colours, each iteration shrinks the palette from
+    [b] bits to [O(log b)] bits by comparing with the successor's
+    colour bitwise; after [O(log* B)] iterations the palette is below
+    6, and three final rounds reduce it to 3. No Id-oblivious
+    algorithm can do any of this (it cannot even 2-colour a single
+    edge — see the models tour example). *)
+
+open Locald_graph
+
+type state = private {
+  my_id : int;
+  succ_id : int;
+  colour : int;
+  pred_colour : int option;
+  succ_colour : int option;
+  round_no : int;
+  cv_stable_at : int option;
+      (** first CV iteration after which this node's colour was below
+          6 (instrumentation for the log* experiment) *)
+  done_ : bool;
+}
+
+val cole_vishkin :
+  cv_rounds:int -> (int, state, int * int) Protocol.t
+(** The protocol. Inputs label each node with the {e identifier of its
+    successor} on the cycle (the orientation, which an Id-oblivious
+    algorithm could not produce); messages carry [(id, colour)].
+    After [cv_rounds] bit-reduction iterations, three scheduled rounds
+    eliminate colours 5, 4 and 3. [cv_rounds] must be at least
+    [~2 log* B + 2] for identifier bound [B] (the tests use a safe
+    margin). *)
+
+val oriented_cycle_input : n:int -> ids:Ids.t -> int Labelled.t
+(** The standard oriented cycle instance: node [v]'s successor is
+    [(v + 1) mod n]. *)
+
+val colours : state array -> int array
+
+val is_proper_colouring : Graph.t -> int array -> k:int -> bool
+
+val run_on_cycle :
+  ?cv_rounds:int -> n:int -> ids:Ids.t -> unit -> int array * Protocol.outcome * int
+(** Build the oriented [n]-cycle, run the protocol, return the final
+    colours, the outcome and the worst-case CV stabilisation
+    iteration (the measured log* quantity). *)
+
+(** {1 Luby's randomised MIS}
+
+    The randomised counterpart: symmetry is broken by private coins
+    instead of identifiers (identifiers only arbitrate ties). Each
+    round every undecided node draws a priority; strict local maxima
+    join the independent set and their neighbours drop out —
+    [O(log n)] rounds with high probability. *)
+
+type mis_state = private {
+  mid : int;
+  rng_seed : int;
+  priority : int;
+  status : [ `Active | `In_mis | `Out ];
+  mis_rounds : int;
+}
+
+val luby_mis : seed:int -> (unit, mis_state, int * int * bool) Protocol.t
+(** Messages carry [(id, priority, joined)]. *)
+
+val run_luby : seed:int -> max_rounds:int -> Graph.t -> ids:Ids.t ->
+  int array * Protocol.outcome
+(** Returns the 0/1 membership labelling. *)

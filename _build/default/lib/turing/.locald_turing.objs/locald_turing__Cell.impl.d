@@ -1,0 +1,1 @@
+lib/turing/cell.ml: Format Machine Printf

@@ -1,0 +1,1 @@
+lib/turing/cell.mli: Format Machine

@@ -1,0 +1,1 @@
+lib/turing/exec.mli: Machine

@@ -1,0 +1,1 @@
+lib/turing/fragment.ml: Array Cell Format Fun Hashtbl List Machine Option Rules Seq Stdlib Table

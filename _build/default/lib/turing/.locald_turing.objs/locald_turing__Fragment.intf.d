@@ -1,0 +1,1 @@
+lib/turing/fragment.mli: Cell Format Machine Table

@@ -1,0 +1,1 @@
+lib/turing/machine.ml: Array Buffer Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/turing/rules.ml: Array Cell Fun List Machine Option

@@ -1,0 +1,1 @@
+lib/turing/rules.mli: Cell Machine

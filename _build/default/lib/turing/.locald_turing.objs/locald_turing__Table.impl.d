@@ -1,0 +1,1 @@
+lib/turing/table.ml: Array Cell Exec Format List Locald_graph Machine Rules

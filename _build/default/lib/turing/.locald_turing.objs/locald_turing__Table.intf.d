@@ -1,0 +1,1 @@
+lib/turing/table.mli: Cell Exec Format Machine

@@ -1,0 +1,1 @@
+lib/turing/zoo.ml: Machine Printf

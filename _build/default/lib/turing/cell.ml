@@ -1,0 +1,17 @@
+type head = No_head | Head of Machine.state | Halted of int
+
+type t = { sym : Machine.symbol; head : head }
+
+let blank = { sym = 0; head = No_head }
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b
+let has_live_head c = match c.head with Head _ -> true | No_head | Halted _ -> false
+let has_any_head c = match c.head with No_head -> false | Head _ | Halted _ -> true
+
+let to_string c =
+  match c.head with
+  | No_head -> Printf.sprintf "%d" c.sym
+  | Head q -> Printf.sprintf "%d@q%d" c.sym q
+  | Halted o -> Printf.sprintf "%d!%d" c.sym o
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,19 @@
+(** Cells of an execution table.
+
+    A cell records the tape symbol and whether the head is on it — in a
+    live state, or halted with its output. [Halted] is absorbing: once
+    the machine halts, subsequent rows repeat unchanged, which is what
+    makes padded tables (Appendix A's power-of-two assumption) locally
+    consistent. *)
+
+type head = No_head | Head of Machine.state | Halted of int
+
+type t = { sym : Machine.symbol; head : head }
+
+val blank : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val has_live_head : t -> bool
+val has_any_head : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

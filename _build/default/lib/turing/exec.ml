@@ -1,0 +1,57 @@
+type config = {
+  tape : int array;
+  head : int;
+  state : Machine.state;
+}
+
+let initial = { tape = [||]; head = 0; state = 0 }
+
+let tape_cell c i = if i < Array.length c.tape then c.tape.(i) else 0
+
+type step_result =
+  | Stepped of config
+  | Halted_now of int
+  | Fell_off_left
+
+let write_cell tape i v =
+  let tape =
+    if i < Array.length tape then Array.copy tape
+    else begin
+      let t = Array.make (i + 1) 0 in
+      Array.blit tape 0 t 0 (Array.length tape);
+      t
+    end
+  in
+  tape.(i) <- v;
+  tape
+
+let step m c =
+  match Machine.action m c.state (tape_cell c c.head) with
+  | Machine.Halt o -> Halted_now o
+  | Machine.Step { next; write; move } ->
+      let head =
+        match move with Machine.Left -> c.head - 1 | Machine.Right -> c.head + 1
+      in
+      if head < 0 then Fell_off_left
+      else Stepped { tape = write_cell c.tape c.head write; head; state = next }
+
+type outcome =
+  | Halted of { output : int; steps : int }
+  | Out_of_fuel of config
+  | Crashed of { steps : int }
+
+let trace ~fuel m =
+  let rec go c acc steps =
+    if steps >= fuel then (List.rev (c :: acc), Out_of_fuel c)
+    else
+      match step m c with
+      | Halted_now output -> (List.rev (c :: acc), Halted { output; steps })
+      | Fell_off_left -> (List.rev (c :: acc), Crashed { steps })
+      | Stepped c' -> go c' (c :: acc) (steps + 1)
+  in
+  go initial [] 0
+
+let run ~fuel m = snd (trace ~fuel m)
+
+let max_head_excursion configs =
+  List.fold_left (fun acc c -> max acc c.head) 0 configs

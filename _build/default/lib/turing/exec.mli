@@ -1,0 +1,43 @@
+(** Fuelled execution of Turing machines.
+
+    Execution is always bounded by explicit fuel: the library must stay
+    total even on diverging machines (property (P3) hinges on the
+    neighbourhood generator halting on all inputs). *)
+
+type config = {
+  tape : int array;  (** cells [0 .. len-1]; cells beyond are blank *)
+  head : int;
+  state : Machine.state;
+}
+
+val initial : config
+(** Blank tape, head on cell 0 (the pivot column), state 0. *)
+
+type step_result =
+  | Stepped of config
+  | Halted_now of int   (** output *)
+  | Fell_off_left
+      (** The head tried to move left of cell 0. The zoo machines
+          never do this; it is reported rather than silently clamped. *)
+
+val step : Machine.t -> config -> step_result
+
+type outcome =
+  | Halted of { output : int; steps : int }
+      (** [steps] transitions were applied before the halting action
+          was read; the execution table has [steps + 1] rows. *)
+  | Out_of_fuel of config
+  | Crashed of { steps : int }  (** fell off the left end *)
+
+val run : fuel:int -> Machine.t -> outcome
+
+val trace : fuel:int -> Machine.t -> config list * outcome
+(** All configurations visited (starting with {!initial}), paired with
+    the outcome. For [Halted { steps; _ }] the list has [steps + 1]
+    configurations. *)
+
+val tape_cell : config -> int -> int
+(** Tape content at a cell, blank beyond the explored prefix. *)
+
+val max_head_excursion : config list -> int
+(** Largest head position over a trace. *)

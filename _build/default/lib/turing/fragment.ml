@@ -1,0 +1,252 @@
+type side = Top | Bottom | Left | Right
+
+type t = {
+  cells : Cell.t array array;
+  forced : side list;
+}
+
+let width f = if Array.length f.cells = 0 then 0 else Array.length f.cells.(0)
+let height f = Array.length f.cells
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let is_consistent m f = Rules.check_grid m ~entries_allowed:true f.cells = []
+
+let natural_sides m f =
+  let candidates =
+    List.concat
+      [
+        (if Rules.left_border_natural m f.cells then [ Left ] else []);
+        (if Rules.right_border_natural m f.cells then [ Right ] else []);
+        (if Rules.bottom_border_natural f.cells then [ Bottom ] else []);
+      ]
+  in
+  List.filter (fun s -> not (List.mem s f.forced)) candidates
+
+let non_natural_cells m f =
+  let naturals = natural_sides m f in
+  let non_natural s = not (List.mem s naturals) in
+  let w = width f and h = height f in
+  let cells = Hashtbl.create 64 in
+  let add r c = Hashtbl.replace cells (r, c) () in
+  (* Top is never natural. *)
+  for c = 0 to w - 1 do
+    add 0 c
+  done;
+  if non_natural Bottom then
+    for c = 0 to w - 1 do
+      add (h - 1) c
+    done;
+  if non_natural Left then
+    for r = 0 to h - 1 do
+      add r 0
+    done;
+  if non_natural Right then
+    for r = 0 to h - 1 do
+      add r (w - 1)
+    done;
+  Hashtbl.fold (fun rc () acc -> rc :: acc) cells [] |> List.sort Stdlib.compare
+
+let border_connected m f =
+  match non_natural_cells m f with
+  | [] -> true
+  | (r0, c0) :: _ as border ->
+      let members = Hashtbl.create 64 in
+      List.iter (fun rc -> Hashtbl.replace members rc false) border;
+      let rec dfs (r, c) =
+        match Hashtbl.find_opt members (r, c) with
+        | Some false ->
+            Hashtbl.replace members (r, c) true;
+            List.iter dfs [ (r + 1, c); (r - 1, c); (r, c + 1); (r, c - 1) ]
+        | Some true | None -> ()
+      in
+      dfs (r0, c0);
+      Hashtbl.fold (fun _ visited acc -> acc && visited) members true
+
+let connectivity_fix m f =
+  if border_connected m f then [ f ]
+  else
+    [ { f with forced = Left :: f.forced }; { f with forced = Right :: f.forced } ]
+
+type enumeration = {
+  fragments : t list;
+  truncated : bool;
+  explored : int;
+}
+
+(* Seed (top) rows: all symbol assignments with at most [max_heads]
+   heads (live states or halting markers), as a lazy sequence so a
+   cap can stop the walk early. State-0 heads are excluded unless
+   requested: state 0 is initial-only for admissible machines and its
+   absence from fragments is what makes the pivot cell locally
+   recognisable (Section 3 / Gmr). *)
+let seed_rows ?(include_start_state = false) machine ~w ~max_heads =
+  let symbols = List.init machine.Machine.num_symbols Fun.id in
+  let first_head = if include_start_state then 0 else 1 in
+  let heads =
+    Cell.No_head
+    :: (List.init
+          (machine.Machine.num_states - first_head)
+          (fun q -> Cell.Head (q + first_head))
+       @ [ Cell.Halted 0; Cell.Halted 1 ])
+  in
+  let rec build j heads_used acc : Cell.t array Seq.t =
+    if j = w then Seq.return (Array.of_list (List.rev acc))
+    else
+      List.to_seq symbols
+      |> Seq.concat_map (fun sym ->
+             List.to_seq heads
+             |> Seq.concat_map (fun head ->
+                    let used =
+                      if head = Cell.No_head then heads_used else heads_used + 1
+                    in
+                    if used > max_heads then Seq.empty
+                    else build (j + 1) used ({ Cell.sym; head } :: acc)))
+  in
+  build 0 0 []
+
+let enumerate ?include_start_state ?(max_heads_per_row = 1) ?(cap = 100_000)
+    machine ~w ~h =
+  (* A head entering on column 0 arrives moving right; one entering on
+     column w-1 arrives moving left. *)
+  let left_entry_options = None :: List.map Option.some (Machine.right_movers machine) in
+  let right_entry_options =
+    if w > 1 then None :: List.map Option.some (Machine.left_movers machine)
+    else [ None ]
+  in
+  let explored = ref 0 in
+  let truncated = ref false in
+  let results = ref [] in
+  let count = ref 0 in
+  (* Expand a partial fragment (rows built top-down) by one row, trying
+     every boundary-entry combination. *)
+  let rec expand rows_rev remaining =
+    if !count >= cap then truncated := true
+    else if remaining = 0 then begin
+      let cells = Array.of_list (List.rev rows_rev) in
+      results := { cells; forced = [] } :: !results;
+      incr count
+    end
+    else
+      let row = List.hd rows_rev in
+      List.iter
+        (fun left_entry ->
+          List.iter
+            (fun right_entry ->
+              incr explored;
+              match
+                Rules.row_successor machine ?left_entry ?right_entry row
+              with
+              | None -> ()
+              | Some next -> expand (next :: rows_rev) (remaining - 1))
+            right_entry_options)
+        left_entry_options
+  in
+  let seeds = seed_rows ?include_start_state machine ~w ~max_heads:max_heads_per_row in
+  Seq.iter
+    (fun seed -> if !count < cap then expand [ seed ] (h - 1))
+    seeds;
+  let fragments =
+    !results
+    |> List.concat_map (connectivity_fix machine)
+    |> List.sort_uniq compare
+  in
+  { fragments; truncated = !truncated; explored = !explored }
+
+let of_cells_windows machine cells ~w ~h =
+  let rows = Array.length cells in
+  let cols = if rows = 0 then 0 else Array.length cells.(0) in
+  let acc = ref [] in
+  for row = 0 to rows - h do
+    for col = 0 to cols - 1 do
+      (* Windows may overhang the right edge (blank continuation). *)
+      let window =
+        Array.init h (fun i ->
+            Array.init w (fun j ->
+                if col + j < cols then cells.(row + i).(col + j) else Cell.blank))
+      in
+      acc := { cells = window; forced = [] } :: !acc
+    done
+  done;
+  !acc
+  |> List.concat_map (connectivity_fix machine)
+  |> List.sort_uniq compare
+
+let of_windows machine table ~w ~h = of_cells_windows machine table.Table.cells ~w ~h
+
+let fake_halts machine ~w ~h =
+  let outputs = [ 0; 1 ] in
+  let fragments = ref [] in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun sym ->
+          for j = 0 to w - 1 do
+            let seed =
+              Array.init w (fun c ->
+                  if c = j then { Cell.sym; head = Cell.Halted o } else Cell.blank)
+            in
+            (* Halted is absorbing, so propagation with sealed borders
+               always succeeds. *)
+            match
+              List.init (h - 1) Fun.id
+              |> List.fold_left
+                   (fun acc _ ->
+                     match acc with
+                     | None -> None
+                     | Some (row :: _ as rows) -> (
+                         match Rules.row_successor machine row with
+                         | None -> None
+                         | Some next -> Some (next :: rows))
+                     | Some [] -> None)
+                   (Some [ seed ])
+            with
+            | None -> ()
+            | Some rows ->
+                fragments :=
+                  { cells = Array.of_list (List.rev rows); forced = [] }
+                  :: !fragments
+          done)
+        (List.init machine.Machine.num_symbols Fun.id))
+    outputs;
+  !fragments
+  |> List.concat_map (connectivity_fix machine)
+  |> List.sort_uniq compare
+
+let contains_start_state f =
+  Array.exists
+    (Array.exists (fun (c : Cell.t) ->
+         match c.head with Cell.Head 0 -> true | _ -> false))
+    f.cells
+
+let reconstructible m f =
+  let naturals = natural_sides m f in
+  let col side_sel =
+    if List.mem side_sel naturals then None
+    else
+      Some
+        (Array.map
+           (fun (row : Cell.t array) ->
+             match side_sel with
+             | Left -> row.(0)
+             | Right -> row.(Array.length row - 1)
+             | Top | Bottom -> assert false)
+           f.cells)
+  in
+  match
+    Rules.reconstruct m ~top:f.cells.(0) ~left:(col Left) ~right:(col Right)
+      ~height:(height f)
+  with
+  | None -> false
+  | Some cells -> cells = f.cells
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v>fragment %dx%d%s" (width f) (height f)
+    (if f.forced = [] then "" else " (forced)");
+  Array.iter
+    (fun row ->
+      Format.fprintf ppf "@ ";
+      Array.iter (fun c -> Format.fprintf ppf "%4s" (Cell.to_string c)) row)
+    f.cells;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,93 @@
+(** Table fragments and the fragment collection [C(M, r)] (Section 3.2).
+
+    A fragment is a [w * h] cell grid every window of which is
+    consistent with the machine's transition function, with heads
+    allowed to enter and leave at the boundary. The collection [C]
+    contains every syntactically possible fragment; gluing them all to
+    the pivot is what prevents an Id-oblivious algorithm from learning
+    anything about the execution that it could not compute itself.
+
+    Exact enumeration is exponential in [w]; {!enumerate} therefore
+    takes caps and reports truncation, and {!of_windows} provides the
+    sub-collection of fragments that actually occur in a given real
+    table (enough for the coverage experiments; see DESIGN.md,
+    substitutions). *)
+
+type side = Top | Bottom | Left | Right
+
+type t = {
+  cells : Cell.t array array;  (** [cells.(row).(col)] *)
+  forced : side list;
+      (** sides treated as non-natural regardless of content — the
+          connectivity fix of Section 3.2 *)
+}
+
+val width : t -> int
+val height : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_consistent : Machine.t -> t -> bool
+(** All windows satisfy the local rules, boundary entries allowed. *)
+
+val natural_sides : Machine.t -> t -> side list
+(** The sides that are natural (Section 3.2), taking [forced] into
+    account. The top row is never natural. *)
+
+val non_natural_cells : Machine.t -> t -> (int * int) list
+(** Coordinates [(row, col)] of the cells lying on a non-natural
+    border; these are the cells glued to the pivot. *)
+
+val border_connected : Machine.t -> t -> bool
+(** Do the non-natural border cells induce a connected subgrid? True
+    for every fragment produced by {!connectivity_fix}. *)
+
+val connectivity_fix : Machine.t -> t -> t list
+(** The fragment itself, or — when exactly the top and bottom rows are
+    non-natural — its two side-forced variants. *)
+
+type enumeration = {
+  fragments : t list;
+  truncated : bool;   (** the cap was hit; the collection is partial *)
+  explored : int;     (** candidates examined *)
+}
+
+val enumerate :
+  ?include_start_state:bool ->
+  ?max_heads_per_row:int ->
+  ?cap:int ->
+  Machine.t ->
+  w:int ->
+  h:int ->
+  enumeration
+(** All consistent fragments (after {!connectivity_fix}), deduplicated.
+    [max_heads_per_row] bounds the heads placed on the seed (top) row
+    (default 1 — every window of a genuine single-head execution obeys
+    this); [cap] bounds the number of fragments (default 100_000).
+    State-0 heads are excluded unless [include_start_state] is set:
+    their absence keeps the pivot cell locally recognisable. *)
+
+val of_windows : Machine.t -> Table.t -> w:int -> h:int -> t list
+(** The fragments occurring as [w * h] windows of the given (padded)
+    table, deduplicated and connectivity-fixed. *)
+
+val of_cells_windows : Machine.t -> Cell.t array array -> w:int -> h:int -> t list
+(** Same, over a raw (possibly truncated, non-halted) cell grid — used
+    by the neighbourhood generator [B], which must not presuppose that
+    the machine halts. *)
+
+val fake_halts : Machine.t -> w:int -> h:int -> t list
+(** Fragments exhibiting an already-halted head with each output in
+    [{0, 1}] on each column and symbol: the gluing of these is what
+    prevents "grep for a halting cell" from deciding the property. *)
+
+val contains_start_state : t -> bool
+(** Some cell carries a state-0 head (such fragments are filtered out
+    before gluing: the pivot must stay unique). *)
+
+val reconstructible : Machine.t -> t -> bool
+(** The Border property: reconstructing the fragment from its top row
+    and non-natural side columns yields the fragment back. *)
+
+val pp : Format.formatter -> t -> unit

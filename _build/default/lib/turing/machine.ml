@@ -1,0 +1,153 @@
+type symbol = int
+type state = int
+type move = Left | Right
+
+type action =
+  | Step of { next : state; write : symbol; move : move }
+  | Halt of int
+
+type t = {
+  name : string;
+  num_states : int;
+  num_symbols : int;
+  delta : action array array;
+}
+
+exception Invalid_machine of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_machine s)) fmt
+
+let make ~name ~num_states ~num_symbols f =
+  if num_states < 1 then invalid "%s: need at least one state" name;
+  if num_symbols < 1 then invalid "%s: need at least one symbol" name;
+  let delta =
+    Array.init num_states (fun q ->
+        Array.init num_symbols (fun s ->
+            match f q s with
+            | Step { next; write; move } as a ->
+                if next < 0 || next >= num_states then
+                  invalid "%s: delta(%d,%d) targets bad state %d" name q s next;
+                if write < 0 || write >= num_symbols then
+                  invalid "%s: delta(%d,%d) writes bad symbol %d" name q s write;
+                ignore move;
+                a
+            | Halt o as a ->
+                if o <> 0 && o <> 1 then
+                  invalid "%s: delta(%d,%d) halts with output %d not in {0,1}"
+                    name q s o;
+                a))
+  in
+  { name; num_states; num_symbols; delta }
+
+let action m q s = m.delta.(q).(s)
+
+let movers m wanted =
+  let acc = ref [] in
+  Array.iter
+    (Array.iter (function
+      | Step { next; move; _ } when move = wanted ->
+          if not (List.mem next !acc) then acc := next :: !acc
+      | Step _ | Halt _ -> ()))
+    m.delta;
+  List.sort compare !acc
+
+let right_movers m = movers m Right
+let left_movers m = movers m Left
+
+let reenters_start m =
+  Array.exists
+    (Array.exists (function
+      | Step { next; _ } -> next = 0
+      | Halt _ -> false))
+    m.delta
+
+let halt_outputs m =
+  let acc = ref [] in
+  Array.iter
+    (Array.iter (function
+      | Halt o -> if not (List.mem o !acc) then acc := o :: !acc
+      | Step _ -> ()))
+    m.delta;
+  List.sort compare !acc
+
+let encode m =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "%s[%d;%d]" m.name m.num_states m.num_symbols);
+  Array.iteri
+    (fun q row ->
+      Array.iteri
+        (fun s a ->
+          let repr =
+            match a with
+            | Step { next; write; move } ->
+                Printf.sprintf "%d,%d:S%d.%d%c" q s next write
+                  (match move with Left -> 'L' | Right -> 'R')
+            | Halt o -> Printf.sprintf "%d,%d:H%d" q s o
+          in
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf repr)
+        row)
+    m.delta;
+  Buffer.contents buf
+
+let decode s =
+  (* Format: NAME[STATES;SYMBOLS] then one " q,s:ACTION" per pair,
+     where ACTION is Sn.wL / Sn.wR / Ho. *)
+  try
+    let header, rest =
+      match String.index_opt s ' ' with
+      | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      | None -> (s, "")
+    in
+    let bracket = String.index header '[' in
+    let semi = String.index header ';' in
+    let close = String.index header ']' in
+    let name = String.sub header 0 bracket in
+    let num_states =
+      int_of_string (String.sub header (bracket + 1) (semi - bracket - 1))
+    in
+    let num_symbols = int_of_string (String.sub header (semi + 1) (close - semi - 1)) in
+    let table = Hashtbl.create 16 in
+    String.split_on_char ' ' rest
+    |> List.filter (fun x -> x <> "")
+    |> List.iter (fun entry ->
+           match String.split_on_char ':' entry with
+           | [ key; action ] ->
+               let q, sym =
+                 match String.split_on_char ',' key with
+                 | [ q; sym ] -> (int_of_string q, int_of_string sym)
+                 | _ -> failwith "bad key"
+               in
+               let parsed =
+                 if action.[0] = 'H' then
+                   Halt (int_of_string (String.sub action 1 (String.length action - 1)))
+                 else begin
+                   let dot = String.index action '.' in
+                   let next = int_of_string (String.sub action 1 (dot - 1)) in
+                   let move_char = action.[String.length action - 1] in
+                   let write =
+                     int_of_string
+                       (String.sub action (dot + 1) (String.length action - dot - 2))
+                   in
+                   let move =
+                     match move_char with
+                     | 'L' -> Left
+                     | 'R' -> Right
+                     | _ -> failwith "bad move"
+                   in
+                   Step { next; write; move }
+                 end
+               in
+               Hashtbl.replace table (q, sym) parsed
+           | _ -> failwith "bad entry");
+    Ok
+      (make ~name ~num_states ~num_symbols (fun q sym ->
+           match Hashtbl.find_opt table (q, sym) with
+           | Some a -> a
+           | None -> failwith "missing transition"))
+  with _ -> Error (Printf.sprintf "unparsable machine encoding: %s" s)
+
+let equal a b =
+  a.num_states = b.num_states && a.num_symbols = b.num_symbols && a.delta = b.delta
+
+let pp ppf m = Format.fprintf ppf "%s" (encode m)

@@ -1,0 +1,60 @@
+(** Single-tape Turing machines on a semi-infinite tape.
+
+    The machine starts in state [0] with the head on cell [0] of a
+    blank tape (Section 3.2). Halting is an {!action}: reading symbol
+    [s] in state [q] either performs a step or halts with an output in
+    [{0, 1}] — the two outputs whose languages [L0], [L1] are
+    computably inseparable (Lemma 1). *)
+
+type symbol = int (** [0] is the blank. *)
+
+type state = int (** [0] is the start state. *)
+
+type move = Left | Right
+
+type action =
+  | Step of { next : state; write : symbol; move : move }
+  | Halt of int  (** output, in [{0, 1}] *)
+
+type t = private {
+  name : string;
+  num_states : int;
+  num_symbols : int;
+  delta : action array array;  (** [delta.(state).(symbol)] *)
+}
+
+exception Invalid_machine of string
+
+val make :
+  name:string -> num_states:int -> num_symbols:int ->
+  (state -> symbol -> action) -> t
+(** Tabulates and validates the transition function.
+    @raise Invalid_machine on out-of-range targets or outputs. *)
+
+val action : t -> state -> symbol -> action
+
+val right_movers : t -> state list
+(** States that some transition enters while moving right — the only
+    states in which a head can appear from the left of a table
+    fragment. Used by the fragment enumeration. *)
+
+val left_movers : t -> state list
+
+val reenters_start : t -> bool
+(** Some transition targets state 0. The Section 3 construction
+    requires machines for which this is false: a state-0 head then
+    certifies the pivot cell. *)
+
+val halt_outputs : t -> int list
+(** The outputs appearing in the transition table (sorted, distinct). *)
+
+val encode : t -> string
+(** A stable textual encoding of the machine; used as the node label
+    component "(M, r)" so that equality of machines is label
+    equality. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode} (round-trips: tested). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+let incoming_from_left m = function
+  | None -> None
+  | Some (c : Cell.t) -> (
+      match c.head with
+      | Cell.No_head | Cell.Halted _ -> None
+      | Cell.Head p -> (
+          match Machine.action m p c.sym with
+          | Machine.Step { next; move = Machine.Right; _ } -> Some next
+          | Machine.Step _ | Machine.Halt _ -> None))
+
+let incoming_from_right m = function
+  | None -> None
+  | Some (c : Cell.t) -> (
+      match c.head with
+      | Cell.No_head | Cell.Halted _ -> None
+      | Cell.Head p -> (
+          match Machine.action m p c.sym with
+          | Machine.Step { next; move = Machine.Left; _ } -> Some next
+          | Machine.Step _ | Machine.Halt _ -> None))
+
+let successor m ~left ~here ~right =
+  let (stay : Cell.t) =
+    match (here : Cell.t).head with
+    | Cell.Halted o -> { here with head = Cell.Halted o }
+    | Cell.No_head -> { here with head = Cell.No_head }
+    | Cell.Head q -> (
+        match Machine.action m q here.sym with
+        | Machine.Halt o -> { here with head = Cell.Halted o }
+        | Machine.Step { write; _ } -> { sym = write; head = Cell.No_head })
+  in
+  let arrivals =
+    List.filter_map Fun.id
+      [ incoming_from_left m left; incoming_from_right m right ]
+  in
+  match (stay.head, arrivals) with
+  | _, [] -> Some stay
+  | Cell.No_head, [ q ] -> Some { stay with head = Cell.Head q }
+  | (Cell.Head _ | Cell.Halted _), _ :: _ -> None (* collision with a staying head *)
+  | Cell.No_head, _ :: _ :: _ -> None (* two heads converge *)
+
+let explained_by_entry m ~side ~(expected : Cell.t) ~(actual : Cell.t) =
+  let movers =
+    match side with `Left -> Machine.right_movers m | `Right -> Machine.left_movers m
+  in
+  match (expected.head, actual.head) with
+  | Cell.No_head, Cell.Head q -> actual.sym = expected.sym && List.mem q movers
+  | _, _ -> false
+
+let row_successor m ?left_entry ?right_entry row =
+  let w = Array.length row in
+  let cell j = if j < 0 || j >= w then None else Some row.(j) in
+  let exception Collision in
+  try
+    let next =
+      Array.init w (fun j ->
+          match successor m ~left:(cell (j - 1)) ~here:row.(j) ~right:(cell (j + 1)) with
+          | None -> raise Collision
+          | Some c -> c)
+    in
+    let enter j q =
+      match (next.(j) : Cell.t).head with
+      | Cell.No_head -> next.(j) <- { (next.(j)) with head = Cell.Head q }
+      | Cell.Head _ | Cell.Halted _ -> raise Collision
+    in
+    Option.iter (enter 0) left_entry;
+    Option.iter (enter (w - 1)) right_entry;
+    Some next
+  with Collision -> None
+
+type violation = { row : int; col : int; reason : string }
+
+let check_grid m ~entries_allowed cells =
+  let h = Array.length cells in
+  let violations = ref [] in
+  let bad row col reason = violations := { row; col; reason } :: !violations in
+  for i = 0 to h - 2 do
+    let row = cells.(i) in
+    let w = Array.length row in
+    if Array.length cells.(i + 1) <> w then bad (i + 1) 0 "ragged grid"
+    else
+      for j = 0 to w - 1 do
+        let cell k = if k < 0 || k >= w then None else Some row.(k) in
+        match successor m ~left:(cell (j - 1)) ~here:row.(j) ~right:(cell (j + 1)) with
+        | None -> bad i j "head collision"
+        | Some expected ->
+            let actual = cells.(i + 1).(j) in
+            if not (Cell.equal expected actual) then
+              if
+                entries_allowed && j = 0
+                && explained_by_entry m ~side:`Left ~expected ~actual
+              then ()
+              else if
+                entries_allowed && j = w - 1 && w > 1
+                && explained_by_entry m ~side:`Right ~expected ~actual
+              then ()
+              else bad (i + 1) j "cell does not follow from the row above"
+      done
+  done;
+  List.rev !violations
+
+let column side cells =
+  Array.map
+    (fun (row : Cell.t array) ->
+      match side with `Left -> row.(0) | `Right -> row.(Array.length row - 1))
+    cells
+
+let border_natural m side cells =
+  let h = Array.length cells in
+  let col = column side cells in
+  (* No exits. *)
+  let no_exit =
+    Array.for_all
+      (fun (c : Cell.t) ->
+        match c.head with
+        | Cell.No_head | Cell.Halted _ -> true
+        | Cell.Head q -> (
+            match Machine.action m q c.sym with
+            | Machine.Step { move; _ } ->
+                (match (side, move) with
+                | `Left, Machine.Left | `Right, Machine.Right -> false
+                | _ -> true)
+            | Machine.Halt _ -> true))
+      col
+  in
+  (* No entries: the sealed successor of the border column matches. *)
+  let no_entry =
+    let ok = ref true in
+    for i = 0 to h - 2 do
+      let row = cells.(i) in
+      let w = Array.length row in
+      let j = match side with `Left -> 0 | `Right -> w - 1 in
+      let cell k = if k < 0 || k >= w then None else Some row.(k) in
+      (match successor m ~left:(cell (j - 1)) ~here:row.(j) ~right:(cell (j + 1)) with
+      | None -> ok := false
+      | Some expected ->
+          if not (Cell.equal expected cells.(i + 1).(j)) then ok := false)
+    done;
+    !ok
+  in
+  no_exit && no_entry
+
+let left_border_natural m cells = border_natural m `Left cells
+let right_border_natural m cells = border_natural m `Right cells
+
+let bottom_border_natural cells =
+  let h = Array.length cells in
+  h > 0 && Array.for_all (fun c -> not (Cell.has_live_head c)) cells.(h - 1)
+
+let reconstruct m ~top ~left ~right ~height =
+  let w = Array.length top in
+  let get (col : Cell.t array option) i = Option.map (fun c -> c.(i)) col in
+  let consistent_border ~side ~expected ~given =
+    match given with
+    | None -> Some expected
+    | Some actual ->
+        if Cell.equal expected actual then Some actual
+        else if explained_by_entry m ~side ~expected ~actual then Some actual
+        else None
+  in
+  let exception Inconsistent in
+  try
+    let rows = Array.make height top in
+    (* The given border columns must agree with the top row. *)
+    (match get left 0 with
+    | Some c when not (Cell.equal c top.(0)) -> raise Inconsistent
+    | _ -> ());
+    (match get right 0 with
+    | Some c when not (Cell.equal c top.(w - 1)) -> raise Inconsistent
+    | _ -> ());
+    for i = 0 to height - 2 do
+      let row = rows.(i) in
+      let cell k = if k < 0 || k >= w then None else Some row.(k) in
+      let next =
+        Array.init w (fun j ->
+            match
+              successor m ~left:(cell (j - 1)) ~here:row.(j) ~right:(cell (j + 1))
+            with
+            | None -> raise Inconsistent
+            | Some c -> c)
+      in
+      (match consistent_border ~side:`Left ~expected:next.(0) ~given:(get left (i + 1)) with
+      | None -> raise Inconsistent
+      | Some c -> next.(0) <- c);
+      (match
+         consistent_border ~side:`Right ~expected:next.(w - 1) ~given:(get right (i + 1))
+       with
+      | None -> raise Inconsistent
+      | Some c -> next.(w - 1) <- c);
+      rows.(i + 1) <- next
+    done;
+    Some rows
+  with Inconsistent -> None

@@ -1,0 +1,74 @@
+(** The local consistency rules of execution tables (Section 3.2).
+
+    Row [i+1] of an execution table is determined cell-by-cell from row
+    [i]: the successor of a cell depends only on the cell itself and
+    its left and right neighbours. This is the radius-1 relation that
+    makes valid executions locally checkable, and it is the relation
+    the fragment collection [C(M,r)] is closed under: a fragment is any
+    cell grid all of whose windows satisfy it (with heads allowed to
+    enter or leave at the fragment boundary).
+
+    A [None] neighbour means "outside the table — no head can arrive
+    from there" (used at the real table's outer columns). *)
+
+val successor :
+  Machine.t ->
+  left:Cell.t option ->
+  here:Cell.t ->
+  right:Cell.t option ->
+  Cell.t option
+(** The unique successor cell, or [None] if the situation is
+    inconsistent (two heads colliding on the same cell). *)
+
+val row_successor :
+  Machine.t ->
+  ?left_entry:Machine.state ->
+  ?right_entry:Machine.state ->
+  Cell.t array ->
+  Cell.t array option
+(** Successor of a whole row of width [w]. [left_entry] places an
+    incoming head (in the given state) on column [0] — a head arriving
+    from outside the fragment; [right_entry] likewise on column
+    [w-1]. [None] on any collision. *)
+
+val explained_by_entry :
+  Machine.t -> side:[ `Left | `Right ] -> expected:Cell.t -> actual:Cell.t -> bool
+(** [actual] differs from the sealed successor [expected] exactly by a
+    head entering from outside on the given side. *)
+
+type violation = { row : int; col : int; reason : string }
+
+val check_grid :
+  Machine.t -> entries_allowed:bool -> Cell.t array array -> violation list
+(** Check every window of the grid ([cells.(row).(col)], row 0 on
+    top). With [entries_allowed], a mismatch on a boundary column that
+    is explained by a head entering from outside is accepted (fragment
+    semantics); without, the table's outer columns must be sealed
+    (real-table semantics). *)
+
+(** {1 Natural borders} *)
+
+val left_border_natural : Machine.t -> Cell.t array array -> bool
+(** The leftmost column could appear on the leftmost column of a real
+    execution table: no head ever moves to, or appears from, its
+    left. *)
+
+val right_border_natural : Machine.t -> Cell.t array array -> bool
+
+val bottom_border_natural : Cell.t array array -> bool
+(** No live (non-halted) head in the bottom row. *)
+
+(** {1 The Border property} *)
+
+val reconstruct :
+  Machine.t ->
+  top:Cell.t array ->
+  left:Cell.t array option ->
+  right:Cell.t array option ->
+  height:int ->
+  Cell.t array array option
+(** Reconstruct a fragment from its non-natural borders: the top row
+    (never natural) plus the left/right columns when non-natural
+    ([None] = natural, i.e. sealed). Returns [None] on inconsistency.
+    This realises the Border property of Section 3.2: the non-natural
+    borders determine the fragment uniquely. *)

@@ -1,0 +1,128 @@
+type t = {
+  machine : Machine.t;
+  side : int;
+  cells : Cell.t array array;
+  steps : int;
+  output : int;
+}
+
+let invalid fmt =
+  Format.kasprintf (fun s -> raise (Locald_graph.Graph.Invalid_graph s)) fmt
+
+let row_of_config side (c : Exec.config) =
+  Array.init side (fun j ->
+      let sym = Exec.tape_cell c j in
+      let head = if j = c.head then Cell.Head c.state else Cell.No_head in
+      { Cell.sym; head })
+
+let of_machine ~fuel m =
+  match Exec.trace ~fuel m with
+  | _, (Exec.Out_of_fuel _ as o) | _, (Exec.Crashed _ as o) -> Error o
+  | configs, Exec.Halted { output; steps } ->
+      let side = steps + 2 in
+      let rows = List.map (row_of_config side) configs in
+      let last_config = List.nth configs steps in
+      let halted_row =
+        Array.init side (fun j ->
+            let sym = Exec.tape_cell last_config j in
+            let head =
+              if j = last_config.head then Cell.Halted output else Cell.No_head
+            in
+            { Cell.sym; head })
+      in
+      let cells = Array.of_list (rows @ [ halted_row ]) in
+      Ok { machine = m; side; cells; steps; output }
+
+let pad_to t side =
+  if side < t.side then invalid "table: cannot pad %d down to %d" t.side side;
+  if side = t.side then t
+  else begin
+    let pad_row row =
+      Array.init side (fun j -> if j < t.side then row.(j) else Cell.blank)
+    in
+    let last = pad_row t.cells.(t.side - 1) in
+    let cells =
+      Array.init side (fun i -> if i < t.side then pad_row t.cells.(i) else last)
+    in
+    { t with side; cells }
+  end
+
+let next_power_of_two n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let pad_to_power_of_two t = pad_to t (next_power_of_two t.side)
+
+let cell t ~row ~col =
+  if row < 0 || row >= t.side || col < 0 || col >= t.side then
+    invalid "table: cell (%d,%d) outside %dx%d" row col t.side t.side;
+  t.cells.(row).(col)
+
+let window t ~row ~col ~w ~h =
+  if row < 0 || col < 0 || row + h > t.side then
+    invalid "table: window (%d,%d)+%dx%d does not fit" row col w h;
+  Array.init h (fun i ->
+      Array.init w (fun j ->
+          if col + j < t.side then t.cells.(row + i).(col + j) else Cell.blank))
+
+type check_error = { row : int; col : int; reason : string }
+
+let validate m cells =
+  let errors = ref [] in
+  let bad row col reason = errors := { row; col; reason } :: !errors in
+  let h = Array.length cells in
+  if h < 2 then bad 0 0 "table too small"
+  else begin
+    let w = Array.length cells.(0) in
+    Array.iteri
+      (fun i row -> if Array.length row <> w then bad i 0 "ragged table")
+      cells;
+    if !errors = [] then begin
+      (* Initial row: head in state 0 on the leftmost cell of a blank tape. *)
+      Array.iteri
+        (fun j (c : Cell.t) ->
+          let expected =
+            if j = 0 then { Cell.sym = 0; head = Cell.Head 0 } else Cell.blank
+          in
+          if not (Cell.equal c expected) then bad 0 j "bad initial row")
+        cells.(0);
+      (* Local rules with sealed borders. *)
+      List.iter
+        (fun (v : Rules.violation) -> bad v.row v.col v.reason)
+        (Rules.check_grid m ~entries_allowed:false cells);
+      (* Halted bottom row. *)
+      if not (Rules.bottom_border_natural cells) then
+        bad (h - 1) 0 "live head in the bottom row";
+      let has_halt =
+        Array.exists
+          (fun (c : Cell.t) ->
+            match c.head with Cell.Halted _ -> true | _ -> false)
+          cells.(h - 1)
+      in
+      if not has_halt then bad (h - 1) 0 "no halting marker in the bottom row"
+    end
+  end;
+  List.rev !errors
+
+let halted_output cells =
+  let h = Array.length cells in
+  if h = 0 then None
+  else
+    Array.fold_left
+      (fun acc (c : Cell.t) ->
+        match (acc, c.head) with
+        | Some _, _ -> acc
+        | None, Cell.Halted o -> Some o
+        | None, _ -> None)
+      None
+      cells.(h - 1)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>table of %s (steps=%d, output=%d, side=%d)" t.machine.name
+    t.steps t.output t.side;
+  Array.iter
+    (fun row ->
+      Format.fprintf ppf "@ ";
+      Array.iter (fun c -> Format.fprintf ppf "%4s" (Cell.to_string c)) row)
+    t.cells;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,56 @@
+(** Execution tables: the grid [T] of Section 3.2.
+
+    Row [i] is the configuration before step [i+1]; the machine starts
+    on a blank tape with the head on the top-left cell (the pivot
+    column). A machine halting after [s] transitions yields rows
+    [0 .. s+1], the last row carrying the absorbing [Halted] marker
+    with the machine's output. Because [Halted] is absorbing and
+    unexplored cells stay blank, a table can be padded to any larger
+    square (in particular to a power-of-two side for the pyramid of
+    Appendix A) while remaining locally consistent. *)
+
+type t = private {
+  machine : Machine.t;
+  side : int;                 (** the table is [side * side] *)
+  cells : Cell.t array array; (** [cells.(row).(col)], row 0 on top *)
+  steps : int;                (** transitions before halting *)
+  output : int;               (** the machine's output *)
+}
+
+val of_machine : fuel:int -> Machine.t -> (t, Exec.outcome) result
+(** Runs the machine and lays out the square table (side
+    [steps + 2]). [Error] carries the non-halting outcome. *)
+
+val pad_to : t -> int -> t
+(** [pad_to t side] pads with blank columns and repeated halting rows.
+    @raise Graph.Invalid_graph if [side] is smaller than the current side. *)
+
+val pad_to_power_of_two : t -> t
+
+val next_power_of_two : int -> int
+
+val cell : t -> row:int -> col:int -> Cell.t
+
+val window : t -> row:int -> col:int -> w:int -> h:int -> Cell.t array array
+(** The sub-grid with top-left corner [(row, col)]; cells beyond the
+    table are taken as blank (no-head) continuations.
+    @raise Graph.Invalid_graph if the window does not fit vertically. *)
+
+(** {1 Validity of candidate tables}
+
+    These checks implement the "full execution table" side of the
+    Appendix A verification: the grid is a genuine, complete, halted
+    run of the machine. *)
+
+type check_error = { row : int; col : int; reason : string }
+
+val validate : Machine.t -> Cell.t array array -> check_error list
+(** Empty iff the grid is a valid complete halted execution table
+    (possibly padded): correct initial row, sealed left/right borders,
+    local rules everywhere, halted (no live head in the) bottom row,
+    and a [Halted] cell present. *)
+
+val halted_output : Cell.t array array -> int option
+(** The output carried by a [Halted] cell of the bottom row, if any. *)
+
+val pp : Format.formatter -> t -> unit

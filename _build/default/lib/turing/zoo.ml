@@ -1,0 +1,138 @@
+let halt_now output =
+  Machine.make ~name:(Printf.sprintf "halt%d" output) ~num_states:1 ~num_symbols:1
+    (fun _ _ -> Machine.Halt output)
+
+let walk ~steps ~output =
+  if steps < 0 then invalid_arg "Zoo.walk";
+  Machine.make
+    ~name:(Printf.sprintf "walk%d.%d" steps output)
+    ~num_states:(steps + 1) ~num_symbols:2
+    (fun q _sym ->
+      if q < steps then Machine.Step { next = q + 1; write = 1; move = Machine.Right }
+      else Machine.Halt output)
+
+let two_faced ~steps ~real ~fake =
+  if steps < 0 then invalid_arg "Zoo.two_faced";
+  Machine.make
+    ~name:(Printf.sprintf "twofaced%d.%d~%d" steps real fake)
+    ~num_states:(steps + 1) ~num_symbols:2
+    (fun q sym ->
+      if q < steps then
+        if sym = 0 then Machine.Step { next = q + 1; write = 1; move = Machine.Right }
+        else Machine.Halt fake (* never fired on the blank tape *)
+      else Machine.Halt real)
+
+let zigzag ~half ~output =
+  if half < 1 then invalid_arg "Zoo.zigzag";
+  let k = half in
+  Machine.make
+    ~name:(Printf.sprintf "zigzag%d.%d" k output)
+    ~num_states:(2 * k) ~num_symbols:2
+    (fun q sym ->
+      if q < k then Machine.Step { next = q + 1; write = 1; move = Machine.Right }
+      else if q < (2 * k) - 1 then
+        Machine.Step { next = q + 1; write = sym; move = Machine.Left }
+      else Machine.Halt output)
+
+(* Symbols: 0 blank, 2 left marker, 3 right marker. States: 0..width
+   lay out the markers; then pairs (left_t, right_t) shuttle the head,
+   counting round trips in the state index. *)
+let sweeper ~width ~sweeps ~output =
+  if width < 1 || sweeps < 1 then invalid_arg "Zoo.sweeper";
+  let left_state t = width + 1 + (2 * t) in
+  let right_state t = width + 2 + (2 * t) in
+  Machine.make
+    ~name:(Printf.sprintf "sweeper%dx%d.%d" width sweeps output)
+    ~num_states:(width + 1 + (2 * sweeps))
+    ~num_symbols:4
+    (fun q sym ->
+      if q = 0 then Machine.Step { next = 1; write = 2; move = Machine.Right }
+      else if q < width then Machine.Step { next = q + 1; write = 0; move = Machine.Right }
+      else if q = width then
+        (* Drop the right marker and start the first leftward sweep. *)
+        Machine.Step { next = left_state 0; write = 3; move = Machine.Left }
+      else begin
+        (* Decode the shuttle states. *)
+        let t = (q - width - 1) / 2 in
+        let going_left = (q - width - 1) mod 2 = 0 in
+        if going_left then
+          if sym = 2 then
+            if t + 1 >= sweeps then Machine.Halt output
+            else Machine.Step { next = right_state t; write = 2; move = Machine.Right }
+          else Machine.Step { next = left_state t; write = sym; move = Machine.Left }
+        else if sym = 3 then
+          if t + 1 >= sweeps then Machine.Halt output (* unreachable; keeps delta total *)
+          else Machine.Step { next = left_state (t + 1); write = 3; move = Machine.Left }
+        else Machine.Step { next = right_state t; write = sym; move = Machine.Right }
+      end)
+
+(* Symbols: 0 blank/zero-bit, 1 one-bit, 2 left marker, 3 right marker.
+   States: 0 .. bits+1 lay out the markers; [rewind] returns the head
+   to the left marker; [inc] performs binary increment; overflow (the
+   carry reaches the right marker) halts with output 0. Unreachable
+   (state, symbol) pairs halt with output 1, which also enriches the
+   fragment collection with fake-output windows. *)
+let counter ~bits ~diverging =
+  if bits < 1 then invalid_arg "Zoo.binary_counter";
+  let rewind = bits + 2 in
+  let inc = bits + 3 in
+  Machine.make
+    ~name:
+      (Printf.sprintf "%s%d" (if diverging then "counter-div" else "counter") bits)
+    ~num_states:(bits + 4) ~num_symbols:4
+    (fun q sym ->
+      if q = 0 then Machine.Step { next = 1; write = 2; move = Machine.Right }
+      else if q <= bits then Machine.Step { next = q + 1; write = 0; move = Machine.Right }
+      else if q = bits + 1 then
+        (* Write the right marker unless diverging (then count on an
+           unbounded field of zero bits). *)
+        if diverging then Machine.Step { next = rewind; write = 0; move = Machine.Left }
+        else Machine.Step { next = rewind; write = 3; move = Machine.Left }
+      else if q = rewind then
+        match sym with
+        | 0 | 1 -> Machine.Step { next = rewind; write = sym; move = Machine.Left }
+        | 2 -> Machine.Step { next = inc; write = 2; move = Machine.Right }
+        | _ -> Machine.Halt 1
+      else (* q = inc *)
+        match sym with
+        | 0 -> Machine.Step { next = rewind; write = 1; move = Machine.Left }
+        | 1 -> Machine.Step { next = inc; write = 0; move = Machine.Right }
+        | 3 -> Machine.Halt 0
+        | _ -> Machine.Halt 1)
+
+let binary_counter ~bits = counter ~bits ~diverging:false
+
+(* No zoo machine ever re-enters state 0: the Section 3 construction
+   relies on "blank cell carrying a state-0 head" being unique to the
+   pivot, so state 0 must be initial-only. *)
+let diverge_right =
+  Machine.make ~name:"diverge-right" ~num_states:2 ~num_symbols:1 (fun _ _ ->
+      Machine.Step { next = 1; write = 0; move = Machine.Right })
+
+let diverge_bounce =
+  Machine.make ~name:"diverge-bounce" ~num_states:3 ~num_symbols:2 (fun q _ ->
+      match q with
+      | 0 -> Machine.Step { next = 1; write = 1; move = Machine.Right }
+      | 1 -> Machine.Step { next = 2; write = 1; move = Machine.Left }
+      | _ -> Machine.Step { next = 1; write = 1; move = Machine.Right })
+
+let counter_diverge = counter ~bits:2 ~diverging:true
+
+let halting () =
+  [
+    halt_now 0;
+    halt_now 1;
+    walk ~steps:2 ~output:0;
+    walk ~steps:2 ~output:1;
+    walk ~steps:5 ~output:0;
+    two_faced ~steps:3 ~real:0 ~fake:1;
+    two_faced ~steps:3 ~real:1 ~fake:0;
+    zigzag ~half:2 ~output:0;
+    zigzag ~half:3 ~output:1;
+    sweeper ~width:3 ~sweeps:2 ~output:0;
+    binary_counter ~bits:2;
+  ]
+
+let diverging () = [ diverge_right; diverge_bounce; counter_diverge ]
+
+let all () = halting () @ diverging ()

@@ -1,0 +1,50 @@
+(** A library of concrete Turing machines used by the examples, tests
+    and experiments. All machines respect the semi-infinite tape (the
+    head never falls off the left end). *)
+
+val halt_now : int -> Machine.t
+(** Halts immediately with the given output (0 steps). *)
+
+val walk : steps:int -> output:int -> Machine.t
+(** Walks right writing ones for [steps] transitions, then halts. The
+    family used to defeat fuel-bounded Id-oblivious candidates: a
+    candidate that simulates for [F] steps is fooled by
+    [walk ~steps:(F+1)]. *)
+
+val two_faced : steps:int -> real:int -> fake:int -> Machine.t
+(** Behaves like [walk ~steps ~output:real] on the blank tape, but its
+    transition table also contains a (never fired) [Halt fake] branch.
+    Consequently the fragment collection [C] contains windows showing a
+    halt with output [fake] — the obfuscation at the heart of the
+    Section 3 separation. *)
+
+val zigzag : half:int -> output:int -> Machine.t
+(** Walks right [half] cells, walks back, halts; exercises
+    left-moving transitions (and hence right-entry fragments). *)
+
+val sweeper : width:int -> sweeps:int -> output:int -> Machine.t
+(** Lays out markers at cells 0 and [width], then shuttles between
+    them [sweeps] times before halting at the left marker — execution
+    tables with long diagonal stripes. Runs for
+    [Theta(width * sweeps)] steps. *)
+
+val binary_counter : bits:int -> Machine.t
+(** Counts through all [2^bits] values of a binary counter, then halts
+    with output 0; a machine with a genuinely two-dimensional
+    execution table. Runs for [Theta(2^bits * bits)] steps. *)
+
+val diverge_right : Machine.t
+(** Moves right forever. *)
+
+val diverge_bounce : Machine.t
+(** Bounces between cells 0 and 1 forever. *)
+
+val counter_diverge : Machine.t
+(** Increments a binary counter forever (rich diverging table). *)
+
+val halting : unit -> Machine.t list
+(** A representative selection of halting machines. *)
+
+val diverging : unit -> Machine.t list
+
+val all : unit -> Machine.t list

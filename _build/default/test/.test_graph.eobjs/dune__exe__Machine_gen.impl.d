@@ -1,0 +1,1 @@
+test/machine_gen.ml: Array Exec Locald_turing Machine Printf QCheck2

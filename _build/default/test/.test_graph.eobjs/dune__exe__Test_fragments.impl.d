@@ -1,0 +1,1 @@
+test/test_fragments.ml: Alcotest Array Cell Fragment Lazy List Locald_turing QCheck2 QCheck_alcotest Rules Table Zoo

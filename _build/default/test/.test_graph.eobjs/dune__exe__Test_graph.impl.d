@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dot Format Fun Gen Graph Labelled List Locald_graph Printf QCheck2 QCheck_alcotest Random Spanning_tree String View

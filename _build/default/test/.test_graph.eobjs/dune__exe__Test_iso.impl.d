@@ -1,0 +1,1 @@
+test/test_iso.ml: Alcotest Array Fun Gen Graph Hashtbl Iso Labelled List Locald_graph QCheck2 QCheck_alcotest Random View

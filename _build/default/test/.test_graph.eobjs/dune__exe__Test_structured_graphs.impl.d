@@ -1,0 +1,1 @@
+test/test_structured_graphs.ml: Alcotest Array Fmt Fun Graph Grid Labelled Layered_tree List Locald_graph Printf Quadtree String

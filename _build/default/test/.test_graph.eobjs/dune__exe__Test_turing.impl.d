@@ -1,0 +1,1 @@
+test/test_turing.ml: Alcotest Array Cell Exec List Locald_turing Machine Option Printf Rules Table Zoo

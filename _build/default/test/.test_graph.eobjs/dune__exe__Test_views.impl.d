@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Array Gen Graph Labelled List Locald_graph QCheck2 QCheck_alcotest Random View

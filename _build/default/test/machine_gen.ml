@@ -1,0 +1,51 @@
+(* A qcheck generator of random admissible Turing machines, used by the
+   randomised integration tests: any machine that halts (within fuel,
+   without falling off the left end) must flow through the whole
+   Section 3 pipeline — table, fragments, G(M,r), local rules,
+   deciders. *)
+
+open Locald_turing
+
+let action_gen ~num_states ~num_symbols =
+  QCheck2.Gen.(
+    let* choice = int_bound 9 in
+    if choice < 2 then
+      (* Halting actions are made reasonably likely so that a useful
+         fraction of machines halt. *)
+      let* o = int_bound 1 in
+      return (Machine.Halt o)
+    else
+      (* State 0 is never a target: admissibility (pivot uniqueness). *)
+      let* next = int_range (min 1 (num_states - 1)) (num_states - 1) in
+      let* write = int_bound (num_symbols - 1) in
+      let* move =
+        map (fun b -> if b then Machine.Right else Machine.Left) bool
+      in
+      return (Machine.Step { next; write; move }))
+
+let machine_gen =
+  QCheck2.Gen.(
+    let* num_states = int_range 2 4 in
+    let* num_symbols = int_range 1 3 in
+    let* table =
+      array_size
+        (return (num_states * num_symbols))
+        (action_gen ~num_states ~num_symbols)
+    in
+    let* id = int_bound 9999 in
+    return
+      (Machine.make
+         ~name:(Printf.sprintf "rand%04d" id)
+         ~num_states ~num_symbols
+         (fun q s -> table.((q * num_symbols) + s))))
+
+type behaviour =
+  | Halts of { output : int; steps : int }
+  | Diverges_within of int  (** did not halt within the fuel *)
+  | Crashes
+
+let behaviour ~fuel m =
+  match Exec.run ~fuel m with
+  | Exec.Halted { output; steps } -> Halts { output; steps }
+  | Exec.Out_of_fuel _ -> Diverges_within fuel
+  | Exec.Crashed _ -> Crashes

@@ -1,0 +1,232 @@
+(* Tests for the fragment collection C(M, r): enumeration
+   completeness, natural borders, the Border property and the
+   connectivity fix. *)
+
+open Locald_turing
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let walk2 = Zoo.walk ~steps:2 ~output:0
+let zig = Zoo.zigzag ~half:2 ~output:1
+
+let table_of m =
+  match Table.of_machine ~fuel:100 m with
+  | Ok t -> Table.pad_to_power_of_two t
+  | Error _ -> Alcotest.fail "machine should halt"
+
+(* ------------------------------------------------------------------ *)
+(* Consistency and windows                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_windows_are_consistent () =
+  List.iter
+    (fun m ->
+      let t = table_of m in
+      let windows = Fragment.of_windows m t ~w:3 ~h:3 in
+      check bool "some windows" true (windows <> []);
+      List.iter
+        (fun f ->
+          check bool "window consistent" true (Fragment.is_consistent m f))
+        windows)
+    [ walk2; zig; Zoo.binary_counter ~bits:2 ]
+
+let test_enumerate_small () =
+  let e = Fragment.enumerate walk2 ~w:2 ~h:2 ~cap:100_000 in
+  check bool "not truncated" false e.Fragment.truncated;
+  check bool "non-empty" true (e.Fragment.fragments <> []);
+  List.iter
+    (fun f -> check bool "enumerated fragment consistent" true (Fragment.is_consistent walk2 f))
+    e.Fragment.fragments
+
+let test_enumerate_covers_windows () =
+  (* Every single-head window of the real table occurs in the full
+     syntactic enumeration (start-state windows excluded by design —
+     they certify the pivot). *)
+  List.iter
+    (fun m ->
+      let t = table_of m in
+      let e = Fragment.enumerate ~include_start_state:true m ~w:3 ~h:3 ~cap:1_000_000 in
+      check bool "enumeration complete" false e.Fragment.truncated;
+      let windows = Fragment.of_windows m t ~w:3 ~h:3 in
+      List.iter
+        (fun w ->
+          check bool "window found in enumeration" true
+            (List.exists (Fragment.equal w) e.Fragment.fragments))
+        windows)
+    [ walk2; zig ]
+
+let test_enumerate_excludes_start_state_by_default () =
+  let e = Fragment.enumerate walk2 ~w:2 ~h:2 ~cap:1_000_000 in
+  List.iter
+    (fun f ->
+      check bool "no start-state head" false (Fragment.contains_start_state f))
+    e.Fragment.fragments
+
+let test_cap_truncates () =
+  let e = Fragment.enumerate zig ~w:3 ~h:3 ~cap:10 in
+  check bool "truncated flag" true e.Fragment.truncated;
+  check bool "capped count" true (List.length e.Fragment.fragments <= 3 * 10)
+
+(* ------------------------------------------------------------------ *)
+(* Fake halts                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fake_halts () =
+  let fakes = Fragment.fake_halts walk2 ~w:3 ~h:3 in
+  check bool "non-empty" true (fakes <> []);
+  let shows o f =
+    Array.exists
+      (Array.exists (fun (c : Cell.t) -> c.Cell.head = Cell.Halted o))
+      f.Fragment.cells
+  in
+  check bool "output-0 window present" true (List.exists (shows 0) fakes);
+  check bool "output-1 window present" true (List.exists (shows 1) fakes);
+  List.iter
+    (fun f -> check bool "fake consistent" true (Fragment.is_consistent walk2 f))
+    fakes
+
+(* ------------------------------------------------------------------ *)
+(* Natural borders                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let all_blank w h = Array.make_matrix h w Cell.blank
+
+let test_natural_sides_blank () =
+  (* A blank fragment: everything except the top is natural. *)
+  let f = { Fragment.cells = all_blank 3 3; forced = [] } in
+  let naturals = Fragment.natural_sides walk2 f in
+  check bool "left natural" true (List.mem Fragment.Left naturals);
+  check bool "right natural" true (List.mem Fragment.Right naturals);
+  check bool "bottom natural" true (List.mem Fragment.Bottom naturals);
+  check bool "top never natural" false (List.mem Fragment.Top naturals);
+  (* Non-natural border = the top row only. *)
+  check
+    (Alcotest.list (Alcotest.pair int int))
+    "non-natural cells" [ (0, 0); (0, 1); (0, 2) ]
+    (Fragment.non_natural_cells walk2 f)
+
+let test_live_bottom_not_natural () =
+  let cells = all_blank 3 3 in
+  cells.(2).(1) <- { Cell.sym = 0; head = Cell.Head 1 };
+  let f = { Fragment.cells; forced = [] } in
+  check bool "bottom not natural" false
+    (List.mem Fragment.Bottom (Fragment.natural_sides walk2 f))
+
+let test_connectivity_fix () =
+  (* Live head in the bottom row of an otherwise blank fragment: the
+     non-natural borders are exactly top and bottom — disconnected —
+     so the fix emits two side-forced variants. *)
+  let cells = all_blank 3 3 in
+  cells.(2).(1) <- { Cell.sym = 0; head = Cell.Head 1 };
+  let f = { Fragment.cells; forced = [] } in
+  check bool "borders disconnected" false (Fragment.border_connected walk2 f);
+  let fixed = Fragment.connectivity_fix walk2 f in
+  check int "two variants" 2 (List.length fixed);
+  List.iter
+    (fun f' ->
+      check bool "variant connected" true (Fragment.border_connected walk2 f'))
+    fixed
+
+let test_forced_sides_count_as_non_natural () =
+  let f = { Fragment.cells = all_blank 3 3; forced = [ Fragment.Left ] } in
+  check bool "forced left not natural" false
+    (List.mem Fragment.Left (Fragment.natural_sides walk2 f));
+  check bool "left column glued" true
+    (List.mem (1, 0) (Fragment.non_natural_cells walk2 f))
+
+let test_multi_head_enumeration () =
+  (* Two heads far apart are locally consistent and enumerable. *)
+  let e = Fragment.enumerate ~max_heads_per_row:2 walk2 ~w:4 ~h:2 ~cap:200_000 in
+  let has_two_heads f =
+    Array.exists
+      (fun row ->
+        Array.to_list row
+        |> List.filter (fun (c : Cell.t) -> Cell.has_any_head c)
+        |> List.length >= 2)
+      f.Fragment.cells
+  in
+  check bool "multi-head fragments exist" true
+    (List.exists has_two_heads e.Fragment.fragments);
+  List.iter
+    (fun f -> check bool "still consistent" true (Fragment.is_consistent walk2 f))
+    e.Fragment.fragments
+
+let test_reconstruct_rejects_inconsistency () =
+  (* A forged left column that the rules cannot explain. *)
+  let top = [| Cell.blank; Cell.blank; Cell.blank |] in
+  let forged_left =
+    [| Cell.blank; { Cell.sym = 1; head = Cell.No_head }; Cell.blank |]
+  in
+  check bool "inconsistent borders rejected" true
+    (Rules.reconstruct walk2 ~top ~left:(Some forged_left) ~right:None ~height:3
+    = None)
+
+(* ------------------------------------------------------------------ *)
+(* The Border property                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_border_property () =
+  (* Reconstruction from the non-natural borders is exact, for every
+     enumerated fragment of a machine with both movers. *)
+  let e = Fragment.enumerate zig ~w:3 ~h:3 ~cap:4000 in
+  check bool "have fragments" true (List.length e.Fragment.fragments > 50);
+  List.iter
+    (fun f ->
+      check bool "reconstructible" true (Fragment.reconstructible zig f))
+    e.Fragment.fragments
+
+let test_border_property_windows () =
+  List.iter
+    (fun m ->
+      let t = table_of m in
+      List.iter
+        (fun f -> check bool "window reconstructible" true (Fragment.reconstructible m f))
+        (Fragment.of_windows m t ~w:4 ~h:4))
+    [ walk2; zig ]
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: enumerated fragments survive a round trip                   *)
+(* ------------------------------------------------------------------ *)
+
+let fragments_of_zig = lazy (Fragment.enumerate zig ~w:3 ~h:3 ~cap:2000).Fragment.fragments
+
+let prop_consistent_and_connected =
+  QCheck2.Test.make ~name:"enumerated fragments: consistent, connected borders"
+    ~count:100
+    QCheck2.Gen.(int_bound 10_000)
+    (fun i ->
+      let fragments = Lazy.force fragments_of_zig in
+      let f = List.nth fragments (i mod List.length fragments) in
+      Fragment.is_consistent zig f && Fragment.border_connected zig f)
+
+let () =
+  Alcotest.run "fragments"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "real windows consistent" `Quick test_windows_are_consistent;
+          Alcotest.test_case "small enumeration" `Quick test_enumerate_small;
+          Alcotest.test_case "enumeration covers real windows" `Quick
+            test_enumerate_covers_windows;
+          Alcotest.test_case "start state excluded" `Quick
+            test_enumerate_excludes_start_state_by_default;
+          Alcotest.test_case "cap truncates" `Quick test_cap_truncates;
+          Alcotest.test_case "fake halts" `Quick test_fake_halts;
+          Alcotest.test_case "multiple heads" `Quick test_multi_head_enumeration;
+          Alcotest.test_case "reconstruct rejects forgery" `Quick
+            test_reconstruct_rejects_inconsistency;
+        ] );
+      ( "borders",
+        [
+          Alcotest.test_case "blank fragment" `Quick test_natural_sides_blank;
+          Alcotest.test_case "live bottom" `Quick test_live_bottom_not_natural;
+          Alcotest.test_case "connectivity fix" `Quick test_connectivity_fix;
+          Alcotest.test_case "forced sides" `Quick test_forced_sides_count_as_non_natural;
+          Alcotest.test_case "Border property (enumerated)" `Quick test_border_property;
+          Alcotest.test_case "Border property (windows)" `Quick test_border_property_windows;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_consistent_and_connected ] );
+    ]

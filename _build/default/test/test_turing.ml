@@ -1,0 +1,323 @@
+(* Tests for the Turing-machine substrate: machines, execution,
+   tables and local rules. *)
+
+open Locald_turing
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let steps_of m ~fuel =
+  match Exec.run ~fuel m with
+  | Exec.Halted { steps; _ } -> Some steps
+  | Exec.Out_of_fuel _ | Exec.Crashed _ -> None
+
+let output_of m ~fuel =
+  match Exec.run ~fuel m with
+  | Exec.Halted { output; _ } -> Some output
+  | Exec.Out_of_fuel _ | Exec.Crashed _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Machines                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_machine_validation () =
+  let raised f = try ignore (f ()); false with Machine.Invalid_machine _ -> true in
+  check bool "bad state target" true
+    (raised (fun () ->
+         Machine.make ~name:"bad" ~num_states:1 ~num_symbols:1 (fun _ _ ->
+             Machine.Step { next = 5; write = 0; move = Machine.Right })));
+  check bool "bad write" true
+    (raised (fun () ->
+         Machine.make ~name:"bad" ~num_states:1 ~num_symbols:1 (fun _ _ ->
+             Machine.Step { next = 0; write = 9; move = Machine.Right })));
+  check bool "bad output" true
+    (raised (fun () ->
+         Machine.make ~name:"bad" ~num_states:1 ~num_symbols:1 (fun _ _ ->
+             Machine.Halt 3)))
+
+let test_machine_introspection () =
+  let m = Zoo.zigzag ~half:2 ~output:0 in
+  check bool "has right movers" true (Machine.right_movers m <> []);
+  check bool "has left movers" true (Machine.left_movers m <> []);
+  check (Alcotest.list int) "halt outputs" [ 0 ] (Machine.halt_outputs m);
+  let tf = Zoo.two_faced ~steps:2 ~real:0 ~fake:1 in
+  check (Alcotest.list int) "two-faced has both outputs" [ 0; 1 ]
+    (Machine.halt_outputs tf);
+  check bool "encode is stable" true (Machine.encode m = Machine.encode m);
+  check bool "equal to itself" true (Machine.equal m m);
+  check bool "distinct machines differ" false (Machine.equal m tf)
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun m ->
+      match Machine.decode (Machine.encode m) with
+      | Error e -> Alcotest.fail e
+      | Ok m' ->
+          check bool (m.Machine.name ^ " round-trips") true (Machine.equal m m');
+          check bool "name preserved" true (m'.Machine.name = m.Machine.name))
+    (Zoo.all ());
+  (match Machine.decode "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage should not decode")
+
+let test_zoo_no_start_reentry () =
+  List.iter
+    (fun m ->
+      check bool
+        (Printf.sprintf "%s never re-enters state 0" m.Machine.name)
+        false (Machine.reenters_start m))
+    (Zoo.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_exec_outcomes () =
+  check (Alcotest.option int) "halt_now steps" (Some 0)
+    (steps_of (Zoo.halt_now 1) ~fuel:10);
+  check (Alcotest.option int) "halt_now output" (Some 1)
+    (output_of (Zoo.halt_now 1) ~fuel:10);
+  check (Alcotest.option int) "walk k steps" (Some 5)
+    (steps_of (Zoo.walk ~steps:5 ~output:0) ~fuel:100);
+  check (Alcotest.option int) "zigzag steps" (Some 5)
+    (steps_of (Zoo.zigzag ~half:3 ~output:1) ~fuel:100);
+  check (Alcotest.option int) "diverger out of fuel" None
+    (steps_of Zoo.diverge_right ~fuel:100);
+  check (Alcotest.option int) "bouncing diverger" None
+    (steps_of Zoo.diverge_bounce ~fuel:100);
+  check (Alcotest.option int) "counter diverges" None
+    (steps_of Zoo.counter_diverge ~fuel:2000)
+
+let test_exec_two_faced_matches_walk () =
+  (* On the blank tape the fake branch never fires. *)
+  let a = Zoo.two_faced ~steps:4 ~real:1 ~fake:0 in
+  check (Alcotest.option int) "steps" (Some 4) (steps_of a ~fuel:50);
+  check (Alcotest.option int) "output is the real one" (Some 1) (output_of a ~fuel:50)
+
+let test_exec_binary_counter () =
+  let m = Zoo.binary_counter ~bits:2 in
+  check (Alcotest.option int) "counter halts with 0" (Some 0) (output_of m ~fuel:5000);
+  (* More bits, more steps. *)
+  let s2 = Option.get (steps_of (Zoo.binary_counter ~bits:2) ~fuel:5000) in
+  let s3 = Option.get (steps_of (Zoo.binary_counter ~bits:3) ~fuel:5000) in
+  check bool "counting time grows" true (s3 > s2)
+
+let test_exec_fuel_semantics () =
+  let m = Zoo.walk ~steps:3 ~output:0 in
+  (* Reading the halting action needs fuel > steps. *)
+  check (Alcotest.option int) "fuel = steps: not yet halted" None
+    (output_of m ~fuel:3);
+  check (Alcotest.option int) "fuel = steps + 1: halted" (Some 0)
+    (output_of m ~fuel:4)
+
+let test_crash_detected () =
+  (* A machine stepping left from cell 0 crashes (and is reported, not
+     silently clamped). *)
+  let lefty =
+    Machine.make ~name:"lefty" ~num_states:2 ~num_symbols:1 (fun _ _ ->
+        Machine.Step { next = 1; write = 0; move = Machine.Left })
+  in
+  (match Exec.run ~fuel:10 lefty with
+  | Exec.Crashed { steps } -> check int "crashes immediately" 0 steps
+  | Exec.Halted _ | Exec.Out_of_fuel _ -> Alcotest.fail "expected crash");
+  match Table.of_machine ~fuel:10 lefty with
+  | Error (Exec.Crashed _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "table construction should report the crash"
+
+let test_trace_shape () =
+  let m = Zoo.walk ~steps:3 ~output:0 in
+  let configs, outcome = Exec.trace ~fuel:10 m in
+  check int "trace length = steps + 1" 4 (List.length configs);
+  (match outcome with
+  | Exec.Halted { steps; output } ->
+      check int "steps" 3 steps;
+      check int "output" 0 output
+  | _ -> Alcotest.fail "expected halt");
+  check int "head walked right" 3 (Exec.max_head_excursion configs)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table_of m =
+  match Table.of_machine ~fuel:200 m with
+  | Ok t -> t
+  | Error _ -> Alcotest.fail "machine should halt"
+
+let test_table_shape () =
+  let t = table_of (Zoo.walk ~steps:3 ~output:1) in
+  check int "side = steps + 2" 5 t.Table.side;
+  check int "output" 1 t.Table.output;
+  (* Top-left cell is the pivot: blank with the state-0 head. *)
+  check bool "pivot cell" true
+    (Cell.equal (Table.cell t ~row:0 ~col:0) { Cell.sym = 0; head = Cell.Head 0 });
+  (* The bottom row contains the halting marker. *)
+  check (Alcotest.option int) "halted output in bottom row" (Some 1)
+    (Table.halted_output t.Table.cells)
+
+let test_table_validates () =
+  List.iter
+    (fun m ->
+      let t = table_of m in
+      check (Alcotest.list Alcotest.reject)
+        (Printf.sprintf "%s table valid" m.Machine.name)
+        []
+        (List.map (fun (_ : Table.check_error) -> ()) (Table.validate m t.Table.cells)))
+    [
+      Zoo.halt_now 0;
+      Zoo.walk ~steps:4 ~output:0;
+      Zoo.zigzag ~half:2 ~output:1;
+      Zoo.binary_counter ~bits:2;
+      Zoo.two_faced ~steps:3 ~real:0 ~fake:1;
+    ]
+
+let test_table_padding_stays_valid () =
+  let m = Zoo.zigzag ~half:2 ~output:0 in
+  let t = Table.pad_to_power_of_two (table_of m) in
+  check int "padded side" 8 t.Table.side;
+  check bool "padded table still valid" true (Table.validate m t.Table.cells = []);
+  let t16 = Table.pad_to t 16 in
+  check bool "further padding valid" true (Table.validate m t16.Table.cells = [])
+
+let test_table_validate_catches_corruption () =
+  let m = Zoo.walk ~steps:3 ~output:0 in
+  let t = table_of m in
+  let corrupt f =
+    let cells = Array.map Array.copy t.Table.cells in
+    f cells;
+    Table.validate m cells <> []
+  in
+  check bool "flipped symbol detected" true
+    (corrupt (fun c -> c.(2).(3) <- { (c.(2).(3)) with Cell.sym = 1 }));
+  check bool "wrong output marker detected" true
+    (corrupt (fun c ->
+         Array.iteri
+           (fun j cell ->
+             match cell.Cell.head with
+             | Cell.Halted _ -> c.(t.Table.side - 1).(j) <- { cell with Cell.head = Cell.Halted 1 }
+             | _ -> ())
+           c.(t.Table.side - 1)));
+  check bool "bad initial row detected" true
+    (corrupt (fun c -> c.(0).(1) <- { Cell.sym = 1; head = Cell.No_head }));
+  check bool "teleporting head detected" true
+    (corrupt (fun c -> c.(1).(3) <- { (c.(1).(3)) with Cell.head = Cell.Head 1 }))
+
+let test_window () =
+  let m = Zoo.walk ~steps:3 ~output:0 in
+  let t = table_of m in
+  let w = Table.window t ~row:0 ~col:0 ~w:2 ~h:2 in
+  check bool "window top-left is pivot" true
+    (Cell.equal w.(0).(0) { Cell.sym = 0; head = Cell.Head 0 });
+  (* Overhanging the right edge pads with blanks. *)
+  let w = Table.window t ~row:0 ~col:(t.Table.side - 1) ~w:3 ~h:2 in
+  check bool "overhang blank" true (Cell.equal w.(0).(2) Cell.blank)
+
+(* ------------------------------------------------------------------ *)
+(* Local rules                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_successor_matches_execution () =
+  (* Row-by-row propagation of the real table reproduces the table. *)
+  List.iter
+    (fun m ->
+      let t = table_of m in
+      for i = 0 to t.Table.side - 2 do
+        match Rules.row_successor m t.Table.cells.(i) with
+        | None -> Alcotest.fail "collision in a genuine table"
+        | Some next ->
+            check bool
+              (Printf.sprintf "%s row %d" m.Machine.name i)
+              true
+              (next = t.Table.cells.(i + 1))
+      done)
+    [ Zoo.walk ~steps:4 ~output:0; Zoo.zigzag ~half:3 ~output:1; Zoo.binary_counter ~bits:2 ]
+
+let test_collision_detected () =
+  (* Two heads converging on the same cell have no successor. *)
+  let m = Zoo.zigzag ~half:2 ~output:0 in
+  (* State 0 moves right; state 2 moves left (the return leg). *)
+  let row =
+    [|
+      { Cell.sym = 0; head = Cell.Head 0 };
+      Cell.blank;
+      { Cell.sym = 1; head = Cell.Head 2 };
+    |]
+  in
+  check bool "collision" true (Rules.row_successor m row = None)
+
+let test_check_grid_real_table () =
+  let m = Zoo.zigzag ~half:2 ~output:1 in
+  let t = table_of m in
+  check bool "sealed check passes" true
+    (Rules.check_grid m ~entries_allowed:false t.Table.cells = []);
+  check bool "entries-allowed also passes" true
+    (Rules.check_grid m ~entries_allowed:true t.Table.cells = [])
+
+let test_entries_allowed_at_boundary () =
+  (* A head enters from the left of a 2-wide window: rejected sealed,
+     accepted as a fragment. *)
+  let m = Zoo.walk ~steps:3 ~output:0 in
+  let mover = List.hd (Machine.right_movers m) in
+  let grid =
+    [|
+      [| Cell.blank; Cell.blank |];
+      [| { Cell.sym = 0; head = Cell.Head mover }; Cell.blank |];
+    |]
+  in
+  check bool "sealed rejects" true
+    (Rules.check_grid m ~entries_allowed:false grid <> []);
+  check bool "fragment semantics accepts" true
+    (Rules.check_grid m ~entries_allowed:true grid = [])
+
+let test_natural_borders_of_real_table () =
+  let m = Zoo.walk ~steps:2 ~output:0 in
+  let t = table_of m in
+  check bool "left natural" true (Rules.left_border_natural m t.Table.cells);
+  check bool "right natural" true (Rules.right_border_natural m t.Table.cells);
+  check bool "bottom natural (halted)" true
+    (Rules.bottom_border_natural t.Table.cells);
+  (* Cut the table above the halt: bottom has a live head. *)
+  let truncated = Array.sub t.Table.cells 0 2 in
+  check bool "live bottom not natural" false (Rules.bottom_border_natural truncated)
+
+let () =
+  Alcotest.run "turing"
+    [
+      ( "machines",
+        [
+          Alcotest.test_case "validation" `Quick test_machine_validation;
+          Alcotest.test_case "introspection" `Quick test_machine_introspection;
+          Alcotest.test_case "encode/decode round-trip" `Quick
+            test_encode_decode_roundtrip;
+          Alcotest.test_case "zoo: no state-0 re-entry" `Quick test_zoo_no_start_reentry;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "outcomes" `Quick test_exec_outcomes;
+          Alcotest.test_case "two-faced runs its real branch" `Quick
+            test_exec_two_faced_matches_walk;
+          Alcotest.test_case "binary counter" `Quick test_exec_binary_counter;
+          Alcotest.test_case "fuel semantics" `Quick test_exec_fuel_semantics;
+          Alcotest.test_case "trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "left-edge crash" `Quick test_crash_detected;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "shape" `Quick test_table_shape;
+          Alcotest.test_case "validation accepts genuine" `Quick test_table_validates;
+          Alcotest.test_case "padding stays valid" `Quick test_table_padding_stays_valid;
+          Alcotest.test_case "corruption detected" `Quick
+            test_table_validate_catches_corruption;
+          Alcotest.test_case "windows" `Quick test_window;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "successor matches execution" `Quick
+            test_successor_matches_execution;
+          Alcotest.test_case "collisions detected" `Quick test_collision_detected;
+          Alcotest.test_case "check_grid on real tables" `Quick test_check_grid_real_table;
+          Alcotest.test_case "boundary entries" `Quick test_entries_allowed_at_boundary;
+          Alcotest.test_case "natural borders" `Quick test_natural_borders_of_real_table;
+        ] );
+    ]
