@@ -34,7 +34,9 @@ let regenerate_paper_artefacts () =
   Report.print_construction (Experiments.construction ());
   Report.print_oi (Experiments.order_invariance ());
   Report.print_hereditary (Experiments.hereditary ());
-  Report.print_warmups (Experiments.warmups ())
+  Report.print_warmups (Experiments.warmups ());
+  (* quick: the full fault sweep is minutes-long and belongs to the CLI *)
+  Report.print_faults (Experiments.faults ~quick:true ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: micro-benchmarks                                            *)
@@ -155,6 +157,44 @@ let bench_gossip_engine =
          let ids = Ids.shuffled rng (Labelled.order lg) in
          ignore (Runner.run_message_passing alg lg ~ids)))
 
+(* The fault-injected engine on the same instance as the fault-free
+   benchmark above: the empty plan measures the pure bookkeeping
+   overhead, the lossy plan the cost of re-gossip plus coin flips. *)
+let bench_fault_engine_empty =
+  let lg = lazy (Labelled.init (Gen.grid 6 6) (fun v -> v mod 4)) in
+  let alg =
+    Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
+        Hashtbl.hash view.View.labels)
+  in
+  let rng = Random.State.make [| 22 |] in
+  Test.make ~name:"fault engine, empty plan (6x6 grid, t=2)"
+    (Staged.stage (fun () ->
+         let lg = Lazy.force lg in
+         let ids = Ids.shuffled rng (Labelled.order lg) in
+         ignore (Fault_runner.run ~plan:Faults.empty alg lg ~ids)))
+
+let bench_fault_engine_lossy =
+  let lg = lazy (Labelled.init (Gen.grid 6 6) (fun v -> v mod 4)) in
+  let alg =
+    Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
+        Hashtbl.hash view.View.labels)
+  in
+  let rng = Random.State.make [| 22 |] in
+  let plan = Faults.make ~seed:7 ~drop:0.1 ~retries:1 () in
+  Test.make ~name:"fault engine, drop 0.1 + 1 retry (6x6)"
+    (Staged.stage (fun () ->
+         let lg = Lazy.force lg in
+         let ids = Ids.shuffled rng (Labelled.order lg) in
+         ignore (Fault_runner.run ~plan alg lg ~ids)))
+
+let bench_fault_coins =
+  let plan = Faults.make ~seed:7 ~drop:0.1 () in
+  Test.make ~name:"fault coins (1000 drop draws)"
+    (Staged.stage (fun () ->
+         for i = 0 to 999 do
+           ignore (Faults.drops plan ~round:1 ~src:i ~dst:(i + 1))
+         done))
+
 let tests =
   [
     bench_view_extraction;
@@ -170,6 +210,9 @@ let tests =
     bench_coverage;
     bench_a_star;
     bench_gossip_engine;
+    bench_fault_engine_empty;
+    bench_fault_engine_lossy;
+    bench_fault_coins;
   ]
 
 let run_benchmarks () =

@@ -9,60 +9,124 @@ open Locald_core.Report
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller parameter sets (faster).")
 
+(* Global reproducibility knob: every randomised experiment derives its
+   random state from this one seed. *)
+let seed_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Seed for the experiment's random state (reproducible runs).")
+
 let run_cmd name doc print driver =
-  let run quick = print (driver ~quick ()) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_flag)
+  let run quick seed = print (driver ~quick ?seed ()) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_flag $ seed_opt)
 
 let table1_cmd =
   run_cmd "table1" "Regenerate the Section 1.1 results table." print_table1
-    (fun ~quick () -> Experiments.table1 ~quick ())
+    (fun ~quick ?seed () -> Experiments.table1 ~quick ?seed ())
 
 let fig1_cmd =
   run_cmd "fig1" "Regenerate Figure 1 (layered trees and view coverage)."
     print_fig1
-    (fun ~quick () -> Experiments.fig1 ~quick ())
+    (fun ~quick ?seed:_ () -> Experiments.fig1 ~quick ())
 
 let fig2_cmd =
   run_cmd "fig2" "Regenerate Figure 2 (the G(M,r) construction)." print_fig2
-    (fun ~quick () -> Experiments.fig2 ~quick ())
+    (fun ~quick ?seed:_ () -> Experiments.fig2 ~quick ())
 
 let fig3_cmd =
   run_cmd "fig3" "Regenerate Figure 3 (the pyramid)." print_fig3
-    (fun ~quick () -> Experiments.fig3 ~quick ())
+    (fun ~quick ?seed:_ () -> Experiments.fig3 ~quick ())
 
 let corollary1_cmd =
   run_cmd "corollary1" "Regenerate the Corollary 1 experiment."
     print_corollary1
-    (fun ~quick () -> Experiments.corollary1 ~quick ())
+    (fun ~quick ?seed () -> Experiments.corollary1 ~quick ?seed ())
 
 let p3_cmd =
   run_cmd "p3" "Measure the neighbourhood generator's (P3) coverage." print_p3
-    (fun ~quick () -> Experiments.p3 ~quick ())
+    (fun ~quick ?seed:_ () -> Experiments.p3 ~quick ())
 
 let diagonal_cmd =
   run_cmd "diagonal" "Run the fuel diagonalisation against Id-oblivious candidates."
     print_fuel_diagonal
-    (fun ~quick () -> Experiments.fuel_diagonal ~quick ())
+    (fun ~quick ?seed:_ () -> Experiments.fuel_diagonal ~quick ())
 
 let construction_cmd =
   run_cmd "construction" "Run the constructive-side experiments (CV, Luby, gossip)."
     print_construction
-    (fun ~quick () -> Experiments.construction ~quick ())
+    (fun ~quick ?seed () -> Experiments.construction ~quick ?seed ())
 
 let oi_cmd =
   run_cmd "oi" "Show that order-invariant algorithms also fail under (B)."
     print_oi
-    (fun ~quick () -> Experiments.order_invariance ~quick ())
+    (fun ~quick ?seed () -> Experiments.order_invariance ~quick ?seed ())
 
 let hereditary_cmd =
   run_cmd "hereditary" "Check hereditariness of the witness properties."
     print_hereditary
-    (fun ~quick () -> Experiments.hereditary ~quick ())
+    (fun ~quick ?seed () -> Experiments.hereditary ~quick ?seed ())
 
 let warmups_cmd =
   run_cmd "warmups" "Run the warm-up promise-problem experiments."
     print_warmups
-    (fun ~quick () -> Experiments.warmups ~quick ())
+    (fun ~quick ?seed () -> Experiments.warmups ~quick ?seed ())
+
+let faults_cmd =
+  let run quick seed drop crashes fuel retries runs =
+    (* Plan validation raises Invalid_argument; turn it into a usage
+       error instead of an "internal error" backtrace. *)
+    match
+      Experiments.faults ~quick ?seed ?drop ?crashes ?fuel ?retries ?runs ()
+    with
+    | rows -> print_faults rows
+    | exception Invalid_argument msg ->
+        prerr_endline ("locald: " ^ msg);
+        exit 2
+  in
+  let drop =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Per-message loss probability in [0, 1].")
+  in
+  let crashes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crashes" ] ~docv:"K"
+          ~doc:"Number of crash-stop node failures to inject.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"F"
+          ~doc:"Per-node fuel budget for the decide step.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Extra re-gossip rounds beyond the horizon's radius+1.")
+  in
+  let runs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "runs" ] ~docv:"N" ~doc:"Faulted runs per scenario.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Measure decider accuracy and degradation under seeded fault \
+          injection (message drops, crash-stop failures, fuel budgets).")
+    Term.(
+      const run $ quick_flag $ seed_opt $ drop $ crashes $ fuel $ retries
+      $ runs)
 
 (* ------------------------------------------------------------------ *)
 (* Inspection subcommands                                              *)
@@ -161,20 +225,22 @@ let coverage_cmd =
     Term.(const run $ arity $ r $ t)
 
 let all_cmd =
-  let run quick =
-    print_table1 (Experiments.table1 ~quick ());
+  let run quick seed =
+    print_table1 (Experiments.table1 ~quick ?seed ());
     print_fig1 (Experiments.fig1 ~quick ());
     print_fig2 (Experiments.fig2 ~quick ());
     print_fig3 (Experiments.fig3 ~quick ());
-    print_corollary1 (Experiments.corollary1 ~quick ());
+    print_corollary1 (Experiments.corollary1 ~quick ?seed ());
     print_p3 (Experiments.p3 ~quick ());
     print_fuel_diagonal (Experiments.fuel_diagonal ~quick ());
-    print_construction (Experiments.construction ~quick ());
-    print_oi (Experiments.order_invariance ~quick ());
-    print_hereditary (Experiments.hereditary ~quick ());
-    print_warmups (Experiments.warmups ~quick ())
+    print_construction (Experiments.construction ~quick ?seed ());
+    print_oi (Experiments.order_invariance ~quick ?seed ());
+    print_hereditary (Experiments.hereditary ~quick ?seed ());
+    print_warmups (Experiments.warmups ~quick ?seed ());
+    print_faults (Experiments.faults ~quick ?seed ())
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.") Term.(const run $ quick_flag)
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const run $ quick_flag $ seed_opt)
 
 let main =
   let doc =
@@ -186,7 +252,7 @@ let main =
     [
       table1_cmd; fig1_cmd; fig2_cmd; fig3_cmd; corollary1_cmd; p3_cmd;
       diagonal_cmd; oi_cmd; hereditary_cmd; construction_cmd; warmups_cmd;
-      gmr_cmd; coverage_cmd; all_cmd;
+      faults_cmd; gmr_cmd; coverage_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -4,7 +4,9 @@ open Locald_local
 open Locald_decision
 module Ti = Tree_instances
 
-let rng () = Random.State.make [| 0x10ca1d |]
+let default_seed = 0x10ca1d
+
+let rng ?(seed = default_seed) () = Random.State.make [| seed |]
 
 (* ------------------------------------------------------------------ *)
 (* T1: the results table                                               *)
@@ -18,9 +20,9 @@ type cell_result = {
 
 (* (B, C) and (B, notC): the Section 2 construction separates, for any
    bound function — computable or oracle. *)
-let cell_bc ~regime ~quick ~name =
+let cell_bc ?seed ~regime ~quick ~name () =
   let p2 = { Ti.regime; arity = 2; r = (if quick then 1 else 2) } in
-  let rng = rng () in
+  let rng = rng ?seed () in
   let verifier = Tree_deciders.pprime_verifier p2 in
   let decider = Tree_deciders.p_decider p2 in
   let tr = Ti.big_tree p2 in
@@ -87,9 +89,9 @@ let cell_bc ~regime ~quick ~name =
   }
 
 (* (notB, C): the Section 3 construction separates. *)
-let cell_nbc ~quick =
+let cell_nbc ?seed ~quick () =
   let r = 1 in
-  let rng = rng () in
+  let rng = rng ?seed () in
   let steps = if quick then 2 else 3 in
   let config =
     { (Gmr.default_config ~r) with
@@ -156,8 +158,8 @@ let two_colouring_blaming_decider () =
              some violated edge. *)
           not (List.exists (fun u -> ids.(c) < ids.(u)) us))
 
-let cell_nbnc ~quick =
-  let rng = rng () in
+let cell_nbnc ?seed ~quick () =
+  let rng = rng ?seed () in
   let alg = two_colouring_blaming_decider () in
   let property = Property.proper_colouring ~k:2 in
   let budget = Simulation.Exhaustive 5 in
@@ -209,12 +211,12 @@ let cell_nbnc ~quick =
       ];
   }
 
-let table1 ?(quick = false) () =
+let table1 ?(quick = false) ?seed () =
   [
-    cell_bc ~regime:(Ids.f_linear_plus 1) ~quick ~name:"(B, C)";
-    cell_bc ~regime:(Ids.f_oracle ~seed:7) ~quick ~name:"(B, notC)";
-    cell_nbc ~quick;
-    cell_nbnc ~quick;
+    cell_bc ?seed ~regime:(Ids.f_linear_plus 1) ~quick ~name:"(B, C)" ();
+    cell_bc ?seed ~regime:(Ids.f_oracle ~seed:7) ~quick ~name:"(B, notC)" ();
+    cell_nbc ?seed ~quick ();
+    cell_nbnc ?seed ~quick ();
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -404,8 +406,8 @@ type corollary1_row = {
   theory_bound : float;
 }
 
-let corollary1 ?(quick = false) () =
-  let rng = rng () in
+let corollary1 ?(quick = false) ?seed () =
+  let rng = rng ?seed () in
   let machines =
     if quick then [ (Zoo.two_faced ~steps:2 ~real:1 ~fake:0, false) ]
     else
@@ -553,8 +555,8 @@ type construction_row = {
   messages : int;   (** directed sends, where metered (0 otherwise) *)
 }
 
-let construction ?(quick = false) () =
-  let rng = rng () in
+let construction ?(quick = false) ?seed () =
+  let rng = rng ?seed () in
   let sizes = if quick then [ 16; 64 ] else [ 16; 64; 256; 1024 ] in
   let cv_rows =
     List.map
@@ -624,8 +626,8 @@ type oi_row = { check : string; ok : bool }
    relative order — and with it the separation collapses back to the
    Id-oblivious situation: within a view, ranks are always
    0..k-1-shaped, so the coverage obstruction applies verbatim. *)
-let order_invariance ?(quick = false) () =
-  let rng = rng () in
+let order_invariance ?(quick = false) ?seed () =
+  let rng = rng ?seed () in
   let regime = Ids.f_linear_plus 1 in
   let p = { Ti.regime; arity = 2; r = (if quick then 1 else 1) } in
   let decider = Tree_deciders.p_decider p in
@@ -677,8 +679,8 @@ type hereditary_row = {
   expected_hereditary : bool;
 }
 
-let hereditary ?(quick = false) () =
-  let rng = rng () in
+let hereditary ?(quick = false) ?seed () =
+  let rng = rng ?seed () in
   let samples = if quick then 40 else 150 in
   let regime = Ids.f_linear_plus 1 in
   let p2 = { Ti.regime; arity = 2; r = 1 } in
@@ -728,8 +730,8 @@ type warmup_row = {
   ok : bool;
 }
 
-let cycle_warmup ~regime ~name ~quick =
-  let rng = rng () in
+let cycle_warmup ?seed ~regime ~name ~quick () =
+  let rng = rng ?seed () in
   let rs = if quick then [ 4 ] else [ 4; 8; 16 ] in
   List.concat_map
     (fun r ->
@@ -758,8 +760,8 @@ let cycle_warmup ~regime ~name ~quick =
       ])
     rs
 
-let tm_warmup ~quick =
-  let rng = rng () in
+let tm_warmup ?seed ~quick () =
+  let rng = rng ?seed () in
   let fuel = 32 in
   let decider = Tm_promise.ld_decider () in
   let machines =
@@ -813,8 +815,135 @@ let tm_warmup ~quick =
   in
   rows @ [ fooled ]
 
-let warmups ?(quick = false) () =
-  cycle_warmup ~regime:(Ids.f_linear_plus 1) ~name:"f=n+1" ~quick
+let warmups ?(quick = false) ?seed () =
+  cycle_warmup ?seed ~regime:(Ids.f_linear_plus 1) ~name:"f=n+1" ~quick ()
   @ (if quick then []
-     else cycle_warmup ~regime:Ids.f_square ~name:"f=n^2+1" ~quick)
-  @ tm_warmup ~quick
+     else cycle_warmup ?seed ~regime:Ids.f_square ~name:"f=n^2+1" ~quick ())
+  @ tm_warmup ?seed ~quick ()
+
+(* ------------------------------------------------------------------ *)
+(* FT: fault injection and graceful degradation                        *)
+(* ------------------------------------------------------------------ *)
+
+type fault_row = {
+  f_scenario : string;
+  f_plan : Faults.plan;
+  f_eval : Decider.fault_evaluation;
+}
+
+(* Deterministic crash placement: [count] crash-stop failures spread
+   across the node range, alternating between rounds 1 and 2. *)
+let crash_plan ~count ~n plan =
+  if count = 0 then plan
+  else
+    let stride = max 1 (n / (count + 1)) in
+    {
+      plan with
+      Faults.crashes =
+        List.init count (fun i -> ((i + 1) * stride mod n, 1 + (i mod 2)));
+    }
+
+let faults ?(quick = false) ?(seed = default_seed) ?drop ?crashes ?fuel
+    ?retries ?runs () =
+  let rng = rng ~seed () in
+  let regime = Ids.f_linear_plus 1 in
+  let runs = match runs with Some r -> r | None -> if quick then 4 else 10 in
+  let p2 = { Ti.regime; arity = 2; r = 1 } in
+  let tr = Ti.big_tree p2 in
+  let apexes = Ti.apexes p2 in
+  let small =
+    Ti.small_instance p2 ~apex:(List.nth apexes (List.length apexes / 2))
+  in
+  let tree_decider = Tree_deciders.p_decider p2 in
+  let gmr_config =
+    { (Gmr.default_config ~r:1) with
+      Gmr.fragment_cap = (if quick then 25 else 30) }
+  in
+  let build m =
+    match Gmr.build ~config:gmr_config ~r:1 m with
+    | Ok t -> t.Gmr.lg
+    | Error _ -> assert false
+  in
+  let c1_yes = build (Zoo.two_faced ~steps:2 ~real:0 ~fake:1) in
+  let c1_no = build (Zoo.two_faced ~steps:2 ~real:1 ~fake:0) in
+  (* The Corollary 1 decider is randomised; under the fault runner its
+     per-node coins are drawn from the experiment rng at decide time
+     (evaluation order is fixed, so runs stay reproducible). *)
+  let corollary1_frozen =
+    let rd = Gmr_deciders.corollary1_decider () in
+    Algorithm.make ~name:"Gmr-corollary1" ~radius:rd.Randomized.radius
+      (fun view ->
+        let node_rng = Random.State.make [| Random.State.bits rng |] in
+        rd.Randomized.decide node_rng (View.strip_ids view))
+  in
+  let crash_count = Option.value crashes ~default:0 in
+  let scenario ?(crash = crash_count) ?(fuel_b = fuel) name alg expected
+      instance lg d k =
+    let n = Labelled.order lg in
+    let plan =
+      crash_plan ~count:crash ~n
+        (Faults.make ~seed ~drop:d ?fuel:fuel_b ~retries:k ())
+    in
+    {
+      f_scenario = name;
+      f_plan = plan;
+      f_eval =
+        Decider.evaluate_faulty ~rng ~regime ~runs ~plan alg ~expected
+          ~instance lg;
+    }
+  in
+  let drops =
+    match drop with
+    | Some d -> [ d ]
+    | None -> if quick then [ 0.0; 0.2 ] else [ 0.0; 0.1; 0.3 ]
+  in
+  let retries_list =
+    match retries with
+    | Some k -> [ k ]
+    | None -> if quick then [ 1 ] else [ 0; 2 ]
+  in
+  (* The G(M,1) instances are an order of magnitude larger than the
+     trees, so the randomised decider sweeps the drops axis only, at a
+     single retry budget. *)
+  let c1_retries = match retries with Some k -> k | None -> 1 in
+  let tree_grid =
+    List.concat_map
+      (fun d ->
+        List.concat_map
+          (fun k ->
+            [
+              scenario "tree P-decider" tree_decider false "T_r" tr d k;
+              scenario "tree P-decider" tree_decider true "H+" small d k;
+            ])
+          retries_list)
+      drops
+  in
+  let c1_grid =
+    List.concat_map
+      (fun d ->
+        [
+          scenario "corollary1 (rand)" corollary1_frozen true "G(M0,1)" c1_yes
+            d c1_retries;
+          scenario "corollary1 (rand)" corollary1_frozen false "G(M1,1)" c1_no
+            d c1_retries;
+        ])
+      drops
+  in
+  let grid = tree_grid @ c1_grid in
+  let sweeping =
+    drop = None && crashes = None && fuel = None && retries = None
+  in
+  let extras =
+    if not sweeping then []
+    else
+      [
+        (* the crash-stop and fuel-budget axes, at a fixed drop rate *)
+        scenario ~crash:1 "tree P-decider" tree_decider true "H+ (1 crash)"
+          small 0.05 1;
+        scenario ~crash:2 "tree P-decider" tree_decider false "T_r (2 crashes)"
+          tr 0.05 1;
+        scenario ~fuel_b:(Some 2) "tree P-decider" tree_decider true
+          "H+ (fuel 2)" small 0.0 0;
+      ]
+  in
+  grid @ extras

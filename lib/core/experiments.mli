@@ -16,16 +16,21 @@ type cell_result = {
       (** named checks; all must hold for the cell's claim *)
 }
 
-val table1 : ?quick:bool -> unit -> cell_result list
+val table1 : ?quick:bool -> ?seed:int -> unit -> cell_result list
+(** [seed] (here and below) reseeds the experiment's random state —
+    threaded from the CLI's global [--seed] option; defaults to the
+    historical constant. *)
 
-val cell_bc : regime:Ids.regime -> quick:bool -> name:string -> cell_result
+val cell_bc :
+  ?seed:int -> regime:Ids.regime -> quick:bool -> name:string -> unit ->
+  cell_result
 (** The two (B, -) separations, parametric in the bound function — pass a
     computable regime for (B, C) and the oracle regime for (B, notC). *)
 
-val cell_nbc : quick:bool -> cell_result
+val cell_nbc : ?seed:int -> quick:bool -> unit -> cell_result
 (** The (notB, C) separation via the Section 3 construction. *)
 
-val cell_nbnc : quick:bool -> cell_result
+val cell_nbnc : ?seed:int -> quick:bool -> unit -> cell_result
 (** The (notB, notC) equality via the Id-oblivious simulation [A*]. *)
 
 (** {1 F1 — Figure 1 (layered trees and view coverage)} *)
@@ -89,7 +94,7 @@ type corollary1_row = {
           yes-instances) *)
 }
 
-val corollary1 : ?quick:bool -> unit -> corollary1_row list
+val corollary1 : ?quick:bool -> ?seed:int -> unit -> corollary1_row list
 
 (** {1 P3 — the neighbourhood generator's coverage (property (P3))} *)
 
@@ -131,7 +136,7 @@ type construction_row = {
   messages : int;
 }
 
-val construction : ?quick:bool -> unit -> construction_row list
+val construction : ?quick:bool -> ?seed:int -> unit -> construction_row list
 (** Identifiers/coins as symmetry breakers: Cole-Vishkin iteration
     counts stay log*-flat as n grows, Luby's MIS terminates in few
     rounds, and the gossip engine's message count is metered. *)
@@ -140,7 +145,7 @@ val construction : ?quick:bool -> unit -> construction_row list
 
 type oi_row = { check : string; ok : bool }
 
-val order_invariance : ?quick:bool -> unit -> oi_row list
+val order_invariance : ?quick:bool -> ?seed:int -> unit -> oi_row list
 (** Identifiers help the Section 2 decider only through magnitude:
     the decider is demonstrably not order-invariant, and its
     rank-normalised OI version wrongly accepts [T_r] — so the
@@ -155,7 +160,7 @@ type hereditary_row = {
   expected_hereditary : bool;
 }
 
-val hereditary : ?quick:bool -> unit -> hereditary_row list
+val hereditary : ?quick:bool -> ?seed:int -> unit -> hereditary_row list
 (** [LD* = LD] was known for hereditary languages; the witness
     properties of both separations are demonstrably non-hereditary,
     and the stock hereditary property shows the test's other side. *)
@@ -169,4 +174,34 @@ type warmup_row = {
   ok : bool;
 }
 
-val warmups : ?quick:bool -> unit -> warmup_row list
+val warmups : ?quick:bool -> ?seed:int -> unit -> warmup_row list
+
+(** {1 FT — fault injection (robustness of the deciders)}
+
+    How do the paper's deciders degrade when the LOCAL model itself
+    misbehaves? Each row replays a decider under a seeded
+    {!Locald_local.Faults.plan} — message drops, duplicate deliveries,
+    crash-stop failures, decide-fuel budgets, bounded re-gossip — and
+    tallies decisive-correct / decisive-wrong / degraded runs. Subjects:
+    the Section 2 tree decider on the Figure 1 instances and the
+    Corollary 1 randomised decider on small [G(M,1)] instances. *)
+
+type fault_row = {
+  f_scenario : string;                   (** decider under test *)
+  f_plan : Faults.plan;                  (** the injected faults *)
+  f_eval : Locald_decision.Decider.fault_evaluation;
+}
+
+val faults :
+  ?quick:bool ->
+  ?seed:int ->
+  ?drop:float ->
+  ?crashes:int ->
+  ?fuel:int ->
+  ?retries:int ->
+  ?runs:int ->
+  unit ->
+  fault_row list
+(** With no overrides, sweeps a default grid of drop rates and retry
+    budgets plus crash and fuel axes; [drop]/[crashes]/[fuel]/[retries]
+    pin the respective axis to a single CLI-chosen value. *)

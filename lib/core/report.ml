@@ -178,3 +178,30 @@ let print_construction rows =
         (if x.messages = 0 then "-" else string_of_int x.messages))
     rows;
   print_rule ()
+
+let print_faults rows =
+  print_rule ();
+  print_endline
+    "FT: fault injection - decider accuracy under drops, crashes, fuel budgets";
+  print_rule ();
+  Printf.printf "%-18s %-16s %5s %4s %5s %4s %5s %8s %6s %9s %8s %8s\n"
+    "decider" "instance" "drop" "crs" "fuel" "ret" "runs" "correct" "wrong"
+    "degraded" "unknown" "dropped";
+  List.iter
+    (fun (x : Experiments.fault_row) ->
+      let e = x.Experiments.f_eval in
+      let p = x.Experiments.f_plan in
+      Printf.printf "%-18s %-16s %5.2f %4d %5s %4d %5d %8d %6d %9d %8d %8d\n"
+        x.Experiments.f_scenario
+        e.Locald_decision.Decider.f_instance p.Locald_local.Faults.drop
+        (List.length p.Locald_local.Faults.crashes)
+        (match p.Locald_local.Faults.fuel with
+        | None -> "-"
+        | Some f -> string_of_int f)
+        p.Locald_local.Faults.retries e.Locald_decision.Decider.f_runs
+        e.Locald_decision.Decider.f_correct e.Locald_decision.Decider.f_wrong
+        e.Locald_decision.Decider.f_degraded
+        e.Locald_decision.Decider.f_unknown_nodes
+        e.Locald_decision.Decider.f_dropped)
+    rows;
+  print_rule ()

@@ -13,3 +13,4 @@ val print_fuel_diagonal : Experiments.diagonal_row list -> unit
 val print_hereditary : Experiments.hereditary_row list -> unit
 val print_oi : Experiments.oi_row list -> unit
 val print_construction : Experiments.construction_row list -> unit
+val print_faults : Experiments.fault_row list -> unit

@@ -49,6 +49,73 @@ let evaluate_exhaustive ~bound alg ~expected ~instance lg =
 
 let all_correct e = e.wrong = 0 && e.assignments > 0
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injected decision                                             *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_of_node = function
+  | Fault_runner.Decided b -> Verdict.Outcome.of_bool b
+  | Fault_runner.Unknown _ -> Verdict.Outcome.Unknown
+
+let decide_faulty ~plan ?cost alg lg ~ids =
+  let outcomes, stats = Fault_runner.run ~plan ?cost alg lg ~ids in
+  (Verdict.of_outcomes (Array.map outcome_of_node outcomes), stats)
+
+type fault_evaluation = {
+  f_instance : string;
+  f_n : int;
+  f_expected : bool;
+  f_runs : int;
+  f_correct : int;
+  f_wrong : int;
+  f_degraded : int;
+  f_unknown_nodes : int;
+  f_dropped : int;
+  f_crashed : int;
+}
+
+let evaluate_faulty ~rng ~regime ~runs ~plan ?cost alg ~expected ~instance lg =
+  let n = Locald_graph.Labelled.order lg in
+  let correct = ref 0
+  and wrong = ref 0
+  and degraded = ref 0
+  and unknown_nodes = ref 0
+  and dropped = ref 0
+  and crashed = ref 0 in
+  for k = 0 to runs - 1 do
+    (* Each run gets a distinct (but reproducible) fault trace and a
+       fresh identifier assignment. *)
+    let plan_k = { plan with Faults.seed = plan.Faults.seed + k } in
+    let ids = Ids.sample rng regime ~n in
+    let d, stats = decide_faulty ~plan:plan_k ?cost alg lg ~ids in
+    unknown_nodes := !unknown_nodes + List.length d.Verdict.unknowns;
+    dropped := !dropped + stats.Fault_runner.dropped;
+    crashed := !crashed + stats.Fault_runner.crashed;
+    if Verdict.decisive d then
+      if Verdict.accepts d.Verdict.verdict = expected then incr correct
+      else incr wrong
+    else incr degraded
+  done;
+  {
+    f_instance = instance;
+    f_n = n;
+    f_expected = expected;
+    f_runs = runs;
+    f_correct = !correct;
+    f_wrong = !wrong;
+    f_degraded = !degraded;
+    f_unknown_nodes = !unknown_nodes;
+    f_dropped = !dropped;
+    f_crashed = !crashed;
+  }
+
+let pp_fault_evaluation ppf e =
+  Format.fprintf ppf
+    "%-28s n=%-5d expect=%-4s %d/%d correct, %d wrong, %d degraded (%d unknown nodes)"
+    e.f_instance e.f_n
+    (if e.f_expected then "yes" else "no")
+    e.f_correct e.f_runs e.f_wrong e.f_degraded e.f_unknown_nodes
+
 let pp_evaluation ppf e =
   Format.fprintf ppf "%-28s n=%-6d expect=%-6s %d/%d assignments correct%s"
     e.instance e.n

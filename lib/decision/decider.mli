@@ -48,3 +48,48 @@ val evaluate_exhaustive :
 val all_correct : evaluation -> bool
 
 val pp_evaluation : Format.formatter -> evaluation -> unit
+
+(** {1 Fault-injected decision}
+
+    The same decision semantics under a {!Faults.plan}: nodes that
+    cannot answer soundly contribute [Unknown], and a run with any
+    unknown is tallied as {e degraded} — neither correct nor wrong —
+    so fault-induced failures are never mistaken for separations. *)
+
+val decide_faulty :
+  plan:Faults.plan ->
+  ?cost:('a Locald_graph.View.t -> int) ->
+  ('a, bool) Algorithm.t ->
+  'a Locald_graph.Labelled.t ->
+  ids:Ids.t ->
+  Verdict.degraded * Fault_runner.stats
+
+type fault_evaluation = {
+  f_instance : string;
+  f_n : int;
+  f_expected : bool;
+  f_runs : int;
+  f_correct : int;       (** decisive runs matching the expectation *)
+  f_wrong : int;         (** decisive runs contradicting it *)
+  f_degraded : int;      (** runs with at least one [Unknown] node *)
+  f_unknown_nodes : int; (** total unknown nodes across runs *)
+  f_dropped : int;       (** total messages lost across runs *)
+  f_crashed : int;       (** total crash-stopped nodes across runs *)
+}
+
+val evaluate_faulty :
+  rng:Random.State.t ->
+  regime:Ids.regime ->
+  runs:int ->
+  plan:Faults.plan ->
+  ?cost:('a Locald_graph.View.t -> int) ->
+  ('a, bool) Algorithm.t ->
+  expected:bool ->
+  instance:string ->
+  'a Locald_graph.Labelled.t ->
+  fault_evaluation
+(** Repeated faulted runs: run [k] uses fault seed [plan.seed + k] and
+    a fresh identifier assignment sampled from the regime, so the whole
+    evaluation is reproducible from [rng] and [plan.seed]. *)
+
+val pp_fault_evaluation : Format.formatter -> fault_evaluation -> unit

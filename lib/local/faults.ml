@@ -1,0 +1,77 @@
+type plan = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  crashes : (int * int) list;
+  fuel : int option;
+  retries : int;
+}
+
+let empty =
+  { seed = 0; drop = 0.0; duplicate = 0.0; crashes = []; fuel = None; retries = 0 }
+
+let validate p =
+  if not (p.drop >= 0.0 && p.drop <= 1.0) then
+    invalid_arg "Faults.make: drop probability outside [0, 1]";
+  if not (p.duplicate >= 0.0 && p.duplicate <= 1.0) then
+    invalid_arg "Faults.make: duplication probability outside [0, 1]";
+  if p.retries < 0 then invalid_arg "Faults.make: negative retries";
+  (match p.fuel with
+  | Some f when f < 0 -> invalid_arg "Faults.make: negative fuel"
+  | Some _ | None -> ());
+  List.iter
+    (fun (v, r) ->
+      if v < 0 then invalid_arg "Faults.make: negative crash node";
+      if r < 1 then invalid_arg "Faults.make: crash round must be >= 1")
+    p.crashes;
+  p
+
+let make ?(seed = 0) ?(drop = 0.0) ?(duplicate = 0.0) ?(crashes = []) ?fuel
+    ?(retries = 0) () =
+  validate { seed; drop; duplicate; crashes; fuel; retries }
+
+let is_empty p =
+  p.drop = 0.0 && p.duplicate = 0.0 && p.crashes = [] && p.fuel = None
+
+let crash_round p v =
+  List.fold_left
+    (fun acc (u, r) ->
+      if u <> v then acc
+      else match acc with None -> Some r | Some r' -> Some (min r r'))
+    None p.crashes
+
+(* Fault coins are a pure function of (seed, kind, round, src, dst),
+   via a splitmix64-style avalanche: two identically-seeded runs see
+   identical faults regardless of evaluation order, and changing any
+   coordinate decorrelates the coin. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let combine h x =
+  mix64 (Int64.add (Int64.mul h 0x100000001b3L) (Int64.of_int x))
+
+let two_pow_53 = 9007199254740992.0
+
+let coin p ~kind ~round ~src ~dst =
+  let h =
+    List.fold_left combine (mix64 (Int64.of_int (p.seed + 0x5eed)))
+      [ kind; round; src; dst ]
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) /. two_pow_53
+
+let drops p ~round ~src ~dst = coin p ~kind:1 ~round ~src ~dst < p.drop
+
+let duplicates p ~round ~src ~dst = coin p ~kind:2 ~round ~src ~dst < p.duplicate
+
+let pp ppf p =
+  Format.fprintf ppf
+    "seed=%d drop=%.3f dup=%.3f crashes=[%a] fuel=%s retries=%d" p.seed p.drop
+    p.duplicate
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       (fun ppf (v, r) -> Format.fprintf ppf "%d@%d" v r))
+    p.crashes
+    (match p.fuel with None -> "-" | Some f -> string_of_int f)
+    p.retries

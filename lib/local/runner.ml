@@ -18,35 +18,17 @@ let run_oblivious ob lg =
       ob.Algorithm.ob_decide
         (View.extract lg ~center:v ~radius:ob.Algorithm.ob_radius))
 
-(* Gossip knowledge: every node accumulates (id -> label) bindings and
-   id-keyed edges. One extra round is run beyond the horizon so that
-   edges between two exactly-distance-t nodes are also learned — the
-   "t +- 1" correspondence of Section 1.2. *)
-module Knowledge = struct
-  type 'a t = {
-    nodes : (int, 'a) Hashtbl.t;
-    edges : (int * int, unit) Hashtbl.t;
-  }
-
-  let create () = { nodes = Hashtbl.create 16; edges = Hashtbl.create 16 }
-
-  let copy k = { nodes = Hashtbl.copy k.nodes; edges = Hashtbl.copy k.edges }
-
-  let add_node k id label = Hashtbl.replace k.nodes id label
-
-  let add_edge k a b =
-    let key = if a < b then (a, b) else (b, a) in
-    Hashtbl.replace k.edges key ()
-
-  let merge ~into src =
-    Hashtbl.iter (fun id label -> Hashtbl.replace into.nodes id label) src.nodes;
-    Hashtbl.iter (fun e () -> Hashtbl.replace into.edges e ()) src.edges
-end
+(* Gossip knowledge (see Knowledge): every node accumulates
+   (id -> label) bindings and id-keyed edges. One extra round is run
+   beyond the horizon so that edges between two exactly-distance-t
+   nodes are also learned — the "t +- 1" correspondence of
+   Section 1.2. *)
 
 type stats = {
   rounds : int;
   messages : int;
   payload_items : int;
+  new_items : int;
 }
 
 let run_message_passing_general alg lg ~ids =
@@ -54,7 +36,7 @@ let run_message_passing_general alg lg ~ids =
   let g = Labelled.graph lg in
   let n = Graph.order g in
   let id = Ids.to_array ids in
-  let messages = ref 0 and payload_items = ref 0 in
+  let messages = ref 0 and payload_items = ref 0 and new_items = ref 0 in
   let state =
     Array.init n (fun v ->
         let k = Knowledge.create () in
@@ -69,42 +51,27 @@ let run_message_passing_general alg lg ~ids =
       Array.iter
         (fun u ->
           incr messages;
-          payload_items :=
-            !payload_items
-            + Hashtbl.length snapshot.(u).Knowledge.nodes
-            + Hashtbl.length snapshot.(u).Knowledge.edges;
-          Knowledge.merge ~into:state.(v) snapshot.(u);
+          payload_items := !payload_items + Knowledge.items snapshot.(u);
+          new_items := !new_items + Knowledge.merge ~into:state.(v) snapshot.(u);
           Knowledge.add_edge state.(v) id.(v) id.(u))
         (Graph.neighbours g v)
     done
   done;
-  let outputs = Array.init n (fun v ->
-      let k = state.(v) in
-      (* Rebuild the known graph, indexing known ids canonically. *)
-      let known_ids =
-        Hashtbl.fold (fun i _ acc -> i :: acc) k.Knowledge.nodes []
-        |> List.sort compare |> Array.of_list
-      in
-      let index_of = Hashtbl.create (2 * Array.length known_ids) in
-      Array.iteri (fun i x -> Hashtbl.replace index_of x i) known_ids;
-      let edges =
-        Hashtbl.fold
-          (fun (a, b) () acc ->
-            (Hashtbl.find index_of a, Hashtbl.find index_of b) :: acc)
-          k.Knowledge.edges []
-      in
-      let known_graph = Graph.of_edges ~n:(Array.length known_ids) edges in
-      let labels =
-        Array.map (fun i -> Hashtbl.find k.Knowledge.nodes i) known_ids
-      in
-      let known_lg = Labelled.make known_graph labels in
-      let center = Hashtbl.find index_of id.(v) in
-      let view =
-        View.extract ~ids:known_ids known_lg ~center ~radius:alg.Algorithm.radius
-      in
-      alg.Algorithm.decide view)
+  let outputs =
+    Array.init n (fun v ->
+        let view =
+          Knowledge.reconstruct state.(v) ~center_id:id.(v)
+            ~radius:alg.Algorithm.radius
+        in
+        alg.Algorithm.decide view)
   in
-  (outputs, { rounds; messages = !messages; payload_items = !payload_items })
+  ( outputs,
+    {
+      rounds;
+      messages = !messages;
+      payload_items = !payload_items;
+      new_items = !new_items;
+    } )
 
 let run_message_passing alg lg ~ids = fst (run_message_passing_general alg lg ~ids)
 

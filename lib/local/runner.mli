@@ -10,6 +10,11 @@
 
 open Locald_graph
 
+val check_size : 'a Labelled.t -> Ids.t -> unit
+(** Shared precondition of every engine (also used by {!Fault_runner}).
+    @raise Ids.Invalid_ids if the assignment's size differs from the
+    graph order. *)
+
 val run :
   ('a, 'o) Algorithm.t -> 'a Labelled.t -> ids:Ids.t -> 'o array
 (** Direct view-evaluation engine.
@@ -27,9 +32,15 @@ val run_message_passing :
 type stats = {
   rounds : int;         (** synchronous rounds executed ([radius + 1]) *)
   messages : int;       (** directed node-to-neighbour sends *)
-  payload_items : int;  (** (id, label) and edge entries shipped — a
-                            bandwidth proxy for the full-information
-                            gossip *)
+  payload_items : int;  (** gross bandwidth: (id, label) and edge
+                            entries shipped, counting the sender's
+                            {e entire} snapshot on every edge every
+                            round (bindings the receiver already knows
+                            included) *)
+  new_items : int;      (** net bandwidth: shipped entries that were
+                            genuinely new to their receiver — the
+                            meaningful congestion number; always
+                            [<= payload_items] *)
 }
 
 val run_message_passing_stats :

@@ -119,7 +119,40 @@ let test_message_passing_stats () =
   check int "rounds = radius + 1" 3 stats.Runner.rounds;
   (* Each round sends over both directions of every edge. *)
   check int "messages = rounds * 2m" (3 * 2 * 6) stats.Runner.messages;
-  check bool "payload grows with knowledge" true (stats.Runner.payload_items > 0)
+  check bool "payload grows with knowledge" true (stats.Runner.payload_items > 0);
+  check bool "net never exceeds gross" true
+    (stats.Runner.new_items <= stats.Runner.payload_items)
+
+let test_stats_exact_accounting () =
+  (* The 2-path at radius 1, worked by hand. Two rounds over one edge:
+     4 messages. Round 1 carries each node's initial self-knowledge
+     (1 item each, both new); by round 2 both nodes know everything
+     (2 nodes + 1 edge = 3 items each), all redundant. *)
+  let lg = Labelled.init (Gen.path 2) (fun v -> v) in
+  let alg = fingerprint_algorithm ~radius:1 in
+  let _, stats =
+    Runner.run_message_passing_stats alg lg ~ids:(Ids.sequential 2)
+  in
+  check int "rounds" 2 stats.Runner.rounds;
+  check int "messages" 4 stats.Runner.messages;
+  check int "gross payload" (2 + 6) stats.Runner.payload_items;
+  check int "net payload" 2 stats.Runner.new_items
+
+let prop_stats_formulae =
+  QCheck2.Test.make ~name:"gossip stats formulae on random graphs" ~count:40
+    QCheck2.Gen.(pair (int_range 2 14) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Gen.random_connected rng ~n ~p:0.25 in
+      let lg = Labelled.init g (fun v -> (v * 3) mod 4) in
+      let ids = Ids.shuffled rng n in
+      let radius = Random.State.int rng 3 in
+      let alg = fingerprint_algorithm ~radius in
+      let out, stats = Runner.run_message_passing_stats alg lg ~ids in
+      stats.Runner.rounds = radius + 1
+      && stats.Runner.messages = stats.Runner.rounds * 2 * Graph.size g
+      && stats.Runner.new_items <= stats.Runner.payload_items
+      && out = Runner.run alg lg ~ids)
 
 let test_runner_size_mismatch () =
   let lg = Labelled.const (Gen.cycle 4) () in
@@ -429,7 +462,9 @@ let () =
           Alcotest.test_case "engines agree" `Quick test_engines_agree;
           Alcotest.test_case "oblivious runs" `Quick test_run_oblivious;
           Alcotest.test_case "communication stats" `Quick test_message_passing_stats;
+          Alcotest.test_case "exact accounting" `Quick test_stats_exact_accounting;
           Alcotest.test_case "size mismatch" `Quick test_runner_size_mismatch;
+          QCheck_alcotest.to_alcotest prop_stats_formulae;
         ] );
       ( "obliviousness",
         [
