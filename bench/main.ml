@@ -348,7 +348,116 @@ let run_ablations () =
   ablation_coverage_scaling ();
   ablation_scale ()
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: the machine-readable quick bench (BENCH_quick.json)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each workload runs at --jobs 1 and --jobs 4 and reports wall-clock,
+   problem size and a digest of the full result; equal digests across
+   job counts are the pool's determinism contract, checked here on
+   every bench run. *)
+
+let digest_of x = Digest.to_hex (Digest.string (Marshal.to_string x []))
+
+let quick_workloads =
+  [
+    ( "f1-coverage",
+      fun () ->
+        let p = { Tree_instances.regime; arity = 2; r = 2 } in
+        let c = Tree_deciders.coverage p ~t:2 in
+        ( Locald_core.Bound.tree_size ~arity:2 ~depth:(Tree_instances.depth p),
+          digest_of
+            ( c.Tree_deciders.covered,
+              c.Tree_deciders.total_views,
+              c.Tree_deciders.uncovered_node ) ) );
+    ( "exhaustive-decider",
+      fun () ->
+        let p = { Tree_instances.regime; arity = 2; r = 2 } in
+        let lg = Tree_instances.small_instance p ~apex:(0, 1) in
+        let n = Labelled.order lg in
+        let e =
+          Locald_decision.Decider.evaluate_exhaustive ~bound:n
+            (Tree_deciders.p_decider p) ~expected:true ~instance:"H+" lg
+        in
+        ( e.Locald_decision.Decider.assignments,
+          digest_of
+            ( e.Locald_decision.Decider.correct,
+              e.Locald_decision.Decider.wrong,
+              e.Locald_decision.Decider.assignments ) ) );
+    ( "p3-coverage",
+      fun () ->
+        let rows = Experiments.p3 ~quick:true () in
+        ( List.fold_left
+            (fun acc (r : Experiments.p3_row) ->
+              acc + r.Experiments.g_classes + r.Experiments.b_classes)
+            0 rows,
+          digest_of rows ) );
+    ( "corollary1",
+      fun () ->
+        let rows = Experiments.corollary1 () in
+        ( List.fold_left
+            (fun acc (r : Experiments.corollary1_row) ->
+              max acc r.Experiments.n)
+            0 rows,
+          digest_of rows ) );
+  ]
+
+let run_quick_bench path =
+  print_endline "";
+  print_endline "=================================================================";
+  print_endline " PART 4: quick bench (machine-readable)";
+  print_endline "=================================================================";
+  let job_counts = [ 1; 4 ] in
+  let entries =
+    List.concat_map
+      (fun (id, work) ->
+        let runs =
+          List.map
+            (fun jobs ->
+              Locald_runtime.Pool.set_default_jobs jobs;
+              let (n, digest), wall = Locald_runtime.Timing.time work in
+              Printf.printf "%-24s jobs=%d n=%-8d %8.3fs  %s\n%!" id jobs n
+                wall digest;
+              (jobs, wall, n, digest))
+            job_counts
+        in
+        (match runs with
+        | (_, _, _, d1) :: rest ->
+            List.iter
+              (fun (jobs, _, _, d) ->
+                if d <> d1 then
+                  Printf.printf
+                    "  WARNING: %s digest differs at jobs=%d — determinism \
+                     contract violated\n"
+                    id jobs)
+              rest
+        | [] -> ());
+        List.map (fun (jobs, wall, n, digest) -> (id, jobs, wall, n, digest)) runs)
+      quick_workloads
+  in
+  Locald_runtime.Pool.set_default_jobs 1;
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (id, jobs, wall, n, digest) ->
+      Printf.fprintf oc
+        "  \"%s@j%d\": {\"wall_s\": %.6f, \"jobs\": %d, \"n\": %d, \
+         \"result_digest\": \"%s\"}%s\n"
+        id jobs wall jobs n digest
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let () =
-  regenerate_paper_artefacts ();
-  run_ablations ();
-  run_benchmarks ()
+  match Array.to_list Sys.argv with
+  | _ :: "--json" :: rest ->
+      (* Quick mode: only the machine-readable bench. *)
+      let path = match rest with p :: _ -> p | [] -> "BENCH_quick.json" in
+      run_quick_bench path
+  | _ ->
+      regenerate_paper_artefacts ();
+      run_ablations ();
+      run_benchmarks ();
+      run_quick_bench "BENCH_quick.json"

@@ -3,6 +3,7 @@
 
 open Cmdliner
 open Locald_core
+open Locald_runtime
 
 open Locald_core.Report
 
@@ -18,9 +19,37 @@ let seed_opt =
     & info [ "seed" ] ~docv:"SEED"
         ~doc:"Seed for the experiment's random state (reproducible runs).")
 
+(* Global parallelism knob: sizes the shared worker pool the experiment
+   hot paths fan out on. Every experiment is byte-identical at any
+   value — parallelism only changes who computes each slot. *)
+let jobs_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel experiment stages (default: \
+           $(b,LOCALD_JOBS), else the recommended domain count). Results \
+           do not depend on this value.")
+
+let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
+
 let run_cmd name doc print driver =
-  let run quick seed = print (driver ~quick ?seed ()) in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_flag $ seed_opt)
+  let run quick seed jobs =
+    apply_jobs jobs;
+    let rows, wall = Timing.time (fun () -> driver ~quick ?seed ()) in
+    print rows;
+    Report.print_timings
+      [
+        {
+          Report.t_experiment = name;
+          t_wall = wall;
+          t_jobs = Pool.default_jobs ();
+          t_speedup = None;
+        };
+      ]
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_flag $ seed_opt $ jobs_opt)
 
 let table1_cmd =
   run_cmd "table1" "Regenerate the Section 1.1 results table." print_table1
@@ -74,7 +103,8 @@ let warmups_cmd =
     (fun ~quick ?seed () -> Experiments.warmups ~quick ?seed ())
 
 let faults_cmd =
-  let run quick seed drop crashes fuel retries runs =
+  let run quick seed jobs drop crashes fuel retries runs =
+    apply_jobs jobs;
     (* Plan validation raises Invalid_argument; turn it into a usage
        error instead of an "internal error" backtrace. *)
     match
@@ -125,8 +155,8 @@ let faults_cmd =
          "Measure decider accuracy and degradation under seeded fault \
           injection (message drops, crash-stop failures, fuel budgets).")
     Term.(
-      const run $ quick_flag $ seed_opt $ drop $ crashes $ fuel $ retries
-      $ runs)
+      const run $ quick_flag $ seed_opt $ jobs_opt $ drop $ crashes $ fuel
+      $ retries $ runs)
 
 (* ------------------------------------------------------------------ *)
 (* Inspection subcommands                                              *)
@@ -203,7 +233,8 @@ let gmr_cmd =
     Term.(const run $ kind $ steps $ output $ r $ cap $ dot)
 
 let coverage_cmd =
-  let run arity r t =
+  let run arity r t jobs =
+    apply_jobs jobs;
     let regime = Locald_local.Ids.f_linear_plus 1 in
     let p = { Tree_instances.regime; arity; r } in
     let c = Tree_deciders.coverage p ~t in
@@ -222,25 +253,65 @@ let coverage_cmd =
   Cmd.v
     (Cmd.info "coverage"
        ~doc:"Measure Figure 1's view coverage for chosen parameters.")
-    Term.(const run $ arity $ r $ t)
+    Term.(const run $ arity $ r $ t $ jobs_opt)
 
 let all_cmd =
-  let run quick seed =
-    print_table1 (Experiments.table1 ~quick ?seed ());
-    print_fig1 (Experiments.fig1 ~quick ());
-    print_fig2 (Experiments.fig2 ~quick ());
-    print_fig3 (Experiments.fig3 ~quick ());
-    print_corollary1 (Experiments.corollary1 ~quick ?seed ());
-    print_p3 (Experiments.p3 ~quick ());
-    print_fuel_diagonal (Experiments.fuel_diagonal ~quick ());
-    print_construction (Experiments.construction ~quick ?seed ());
-    print_oi (Experiments.order_invariance ~quick ?seed ());
-    print_hereditary (Experiments.hereditary ~quick ?seed ());
-    print_warmups (Experiments.warmups ~quick ?seed ());
-    print_faults (Experiments.faults ~quick ?seed ())
+  let run quick seed jobs speedup =
+    apply_jobs jobs;
+    let timings = ref [] in
+    let exp : 'r. string -> ('r -> unit) -> (unit -> 'r) -> unit =
+     fun name print driver ->
+      let rows, wall = Timing.time driver in
+      print rows;
+      let t_speedup =
+        (* Optional honest baseline: rerun the experiment on a
+           single-domain pool and report the ratio. *)
+        if speedup && Pool.default_jobs () > 1 then begin
+          let jn = Pool.default_jobs () in
+          Pool.set_default_jobs 1;
+          let _, wall1 = Timing.time driver in
+          Pool.set_default_jobs jn;
+          Some (wall1 /. wall)
+        end
+        else None
+      in
+      timings :=
+        {
+          Report.t_experiment = name;
+          t_wall = wall;
+          t_jobs = Pool.default_jobs ();
+          t_speedup;
+        }
+        :: !timings
+    in
+    exp "table1" print_table1 (fun () -> Experiments.table1 ~quick ?seed ());
+    exp "fig1" print_fig1 (fun () -> Experiments.fig1 ~quick ());
+    exp "fig2" print_fig2 (fun () -> Experiments.fig2 ~quick ());
+    exp "fig3" print_fig3 (fun () -> Experiments.fig3 ~quick ());
+    exp "corollary1" print_corollary1 (fun () ->
+        Experiments.corollary1 ~quick ?seed ());
+    exp "p3" print_p3 (fun () -> Experiments.p3 ~quick ());
+    exp "diagonal" print_fuel_diagonal (fun () ->
+        Experiments.fuel_diagonal ~quick ());
+    exp "construction" print_construction (fun () ->
+        Experiments.construction ~quick ?seed ());
+    exp "oi" print_oi (fun () -> Experiments.order_invariance ~quick ?seed ());
+    exp "hereditary" print_hereditary (fun () ->
+        Experiments.hereditary ~quick ?seed ());
+    exp "warmups" print_warmups (fun () -> Experiments.warmups ~quick ?seed ());
+    exp "faults" print_faults (fun () -> Experiments.faults ~quick ?seed ());
+    Report.print_timings (List.rev !timings)
+  in
+  let speedup_flag =
+    Arg.(
+      value & flag
+      & info [ "speedup" ]
+          ~doc:
+            "Also rerun each experiment at --jobs 1 and report the \
+             speedup (doubles the runtime).")
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
-    Term.(const run $ quick_flag $ seed_opt)
+    Term.(const run $ quick_flag $ seed_opt $ jobs_opt $ speedup_flag)
 
 let main =
   let doc =

@@ -425,13 +425,21 @@ let corollary1 ?(quick = false) ?seed () =
       | Error _ -> None
       | Ok t ->
           let fast = Gmr_deciders.Fast.prepare t.Gmr.lg in
-          let successes = ref 0 in
-          for _ = 1 to runs do
-            let accepted =
-              Verdict.accepts (Gmr_deciders.Fast.corollary1 fast rng)
-            in
-            if accepted = expected then incr successes
-          done;
+          (* Monte-Carlo runs are independent: each gets its own coin
+             stream, seeded sequentially before the fan-out so the
+             estimate is identical at any job count. *)
+          let run_seeds = Locald_runtime.Pool.split_seeds rng runs in
+          let outcomes =
+            Locald_runtime.Pool.map
+              (fun s ->
+                let run_rng = Random.State.make [| s |] in
+                Verdict.accepts (Gmr_deciders.Fast.corollary1 fast run_rng)
+                = expected)
+              run_seeds
+          in
+          let successes =
+            Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 outcomes
+          in
           let n = Gmr.order t in
           let theory_bound =
             if expected then 1.0
@@ -443,7 +451,7 @@ let corollary1 ?(quick = false) ?seed () =
               n;
               expected;
               runs;
-              success = float_of_int !successes /. float_of_int runs;
+              success = float_of_int successes /. float_of_int runs;
               theory_bound;
             })
     machines

@@ -1,5 +1,6 @@
 open Locald_graph
 open Locald_turing
+open Locald_runtime
 
 type part =
   | Cell of { cell : Cell.t; m6x : int; m6y : int }
@@ -247,14 +248,26 @@ let size t = Graph.size (Labelled.graph t.lg)
    lists. *)
 let iso_dedupe_threshold = 400
 
+(* Canonical keys are computed for all views in parallel; the bucketing
+   itself stays sequential in input order so class representatives come
+   out identical at any job count. The bucket key reproduces the
+   historical [(signature, order, size)] triple exactly ([Canon]'s
+   fingerprint is [Iso.view_signature] by construction). *)
+let keyed_views views =
+  let canon = Canon.create ~equal:equal_label () in
+  let views = Array.of_list views in
+  let keys = Pool.map (Canon.key canon) views in
+  (canon, Array.map2 (fun view key -> (view, key)) views keys)
+
+let bucket_key key view =
+  (Canon.fingerprint key, View.order view, Graph.size view.View.graph)
+
 let dedupe_views views =
+  let canon, keyed = keyed_views views in
   let classes = Hashtbl.create 256 in
-  List.iter
-    (fun view ->
-      let k = View.order view in
-      let s =
-        (Iso.view_signature Hashtbl.hash view, k, Graph.size view.View.graph)
-      in
+  Array.iter
+    (fun (view, key) ->
+      let s = bucket_key key view in
       let bucket =
         match Hashtbl.find_opt classes s with
         | Some b -> b
@@ -263,54 +276,58 @@ let dedupe_views views =
             Hashtbl.replace classes s b;
             b
       in
+      (* Members of a bucket agree on fingerprint, order and size, so
+         [~exact_threshold] reproduces the historical big-view regime:
+         above the threshold any bucket member counts as a duplicate. *)
       let duplicate =
-        if k > iso_dedupe_threshold then !bucket <> []
-        else List.exists (Iso.views_isomorphic equal_label view) !bucket
+        List.exists
+          (fun (_, k) ->
+            Canon.equivalent ~exact_threshold:iso_dedupe_threshold canon key k)
+          !bucket
       in
-      if not duplicate then bucket := view :: !bucket)
-    views;
-  Hashtbl.fold (fun _ b acc -> !b @ acc) classes []
+      if not duplicate then bucket := (view, key) :: !bucket)
+    keyed;
+  Hashtbl.fold (fun _ b acc -> List.map fst !b @ acc) classes []
 
 let views_covered views ~by =
+  let canon, keyed_by = keyed_views by in
   let buckets = Hashtbl.create 256 in
-  List.iter
-    (fun view ->
-      let key =
-        ( Iso.view_signature Hashtbl.hash view,
-          View.order view,
-          Graph.size view.View.graph )
-      in
+  Array.iter
+    (fun (view, key) ->
+      let s = bucket_key key view in
       let bucket =
-        match Hashtbl.find_opt buckets key with
+        match Hashtbl.find_opt buckets s with
         | Some b -> b
         | None ->
             let b = ref [] in
-            Hashtbl.replace buckets key b;
+            Hashtbl.replace buckets s b;
             b
       in
-      bucket := view :: !bucket)
-    by;
-  let covered = ref 0 and total = ref 0 in
-  List.iter
-    (fun view ->
-      incr total;
-      let key =
-        ( Iso.view_signature Hashtbl.hash view,
-          View.order view,
-          Graph.size view.View.graph )
-      in
-      match Hashtbl.find_opt buckets key with
-      | None -> ()
-      | Some b ->
-          if
-            View.order view > iso_dedupe_threshold
-            || List.exists (Iso.views_isomorphic equal_label view) !b
-          then incr covered)
-    views;
-  (!covered = !total, !covered, !total)
+      bucket := key :: !bucket)
+    keyed_by;
+  let _, keyed = keyed_views views in
+  let flags =
+    Pool.map
+      (fun (view, key) ->
+        match Hashtbl.find_opt buckets (bucket_key key view) with
+        | None -> false
+        | Some b ->
+            List.exists
+              (fun k ->
+                Canon.equivalent ~exact_threshold:iso_dedupe_threshold canon key
+                  k)
+              !b)
+      keyed
+  in
+  let covered = Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 flags in
+  let total = Array.length flags in
+  (covered = total, covered, total)
 
 let views_of_lg lg ~radius =
-  List.init (Labelled.order lg) (fun v -> View.extract lg ~center:v ~radius)
+  Pool.map
+    (fun v -> View.extract lg ~center:v ~radius)
+    (Pool.init_in_order (Labelled.order lg) Fun.id)
+  |> Array.to_list
 
 let all_views ?radius ?(dedupe = true) t =
   let radius = Option.value radius ~default:t.r in
@@ -352,12 +369,12 @@ let generator_views ?config ?view_radius ?(dedupe = true) ~r ~side_exp machine =
         | Frag_base _ | Frag_pyr _ -> false
       in
       let views =
-        List.init (Labelled.order lg) (fun v ->
-            let view = View.extract lg ~center:v ~radius in
-            (* Map view-local indices back through the extraction to
-               test for suspects: re-extract the ball. *)
-            let ball = Graph.ball (Labelled.graph lg) v radius in
+        Pool.map
+          (fun v ->
+            let view, ball = View.extract_mapped lg ~center:v ~radius in
             if Array.exists suspect ball then None else Some view)
+          (Pool.init_in_order (Labelled.order lg) Fun.id)
+        |> Array.to_list
         |> List.filter_map Fun.id
       in
       if dedupe then dedupe_views views else views

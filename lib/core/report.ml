@@ -205,3 +205,28 @@ let print_faults rows =
         e.Locald_decision.Decider.f_dropped)
     rows;
   print_rule ()
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock timings                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type timing = {
+  t_experiment : string;
+  t_wall : float;          (* seconds *)
+  t_jobs : int;
+  t_speedup : float option; (* wall at jobs=1 / wall, when both measured *)
+}
+
+let print_timings rows =
+  print_rule ();
+  print_endline "Wall-clock per experiment";
+  print_rule ();
+  Printf.printf "%-24s %10s %6s %9s\n" "experiment" "wall(s)" "jobs" "speedup";
+  List.iter
+    (fun t ->
+      Printf.printf "%-24s %10.3f %6d %9s\n" t.t_experiment t.t_wall t.t_jobs
+        (match t.t_speedup with
+        | None -> "-"
+        | Some s -> Printf.sprintf "%.2fx" s))
+    rows;
+  print_rule ()

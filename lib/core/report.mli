@@ -14,3 +14,12 @@ val print_hereditary : Experiments.hereditary_row list -> unit
 val print_oi : Experiments.oi_row list -> unit
 val print_construction : Experiments.construction_row list -> unit
 val print_faults : Experiments.fault_row list -> unit
+
+type timing = {
+  t_experiment : string;
+  t_wall : float;           (** seconds *)
+  t_jobs : int;             (** pool size the experiment ran at *)
+  t_speedup : float option; (** wall at jobs=1 over this wall, when measured *)
+}
+
+val print_timings : timing list -> unit

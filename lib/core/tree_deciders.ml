@@ -1,6 +1,7 @@
 open Locald_graph
 open Locald_local
 open Locald_decision
+open Locald_runtime
 module Lt = Layered_tree
 module Ti = Tree_instances
 
@@ -94,35 +95,49 @@ let coverage p ~t =
   let d = Ti.depth p in
   let arity = p.Ti.arity in
   let n = Labelled.order tr in
-  (* Deduplicate the views of T_r by signature, keeping one witness
-     node per class (exact iso resolves collisions). *)
-  let hash_label = Hashtbl.hash in
-  let classes : (int, (Ti.label View.t * int) list ref) Hashtbl.t =
+  let canon = Canon.create ~equal:( = ) () in
+  (* Extract and canonically key every view of T_r in parallel, then
+     deduplicate sequentially in ascending node order — the class
+     representatives (and hence the uncovered witness) are the same at
+     any job count. The canonical fingerprint equals the historical
+     [Iso.view_signature] bucketing, and within a bucket [equivalent]
+     decides exactly what the backtracking iso test decided. *)
+  let keyed =
+    Pool.map
+      (fun v -> (View.extract tr ~center:v ~radius:t, v))
+      (Pool.init_in_order n Fun.id)
+  in
+  let keys = Pool.map (fun (view, _) -> Canon.key canon view) keyed in
+  let classes : (int, (Ti.label Canon.key * int) list ref) Hashtbl.t =
     Hashtbl.create 256
   in
-  for v = 0 to n - 1 do
-    let view = View.extract tr ~center:v ~radius:t in
-    let s = Iso.view_signature hash_label view in
-    let bucket =
-      match Hashtbl.find_opt classes s with
-      | Some b -> b
-      | None ->
-          let b = ref [] in
-          Hashtbl.replace classes s b;
-          b
-    in
-    if
-      not
-        (List.exists (fun (w, _) -> Iso.views_isomorphic ( = ) view w) !bucket)
-    then bucket := (view, v) :: !bucket
-  done;
-  let representatives =
-    Hashtbl.fold (fun _ b acc -> !b @ acc) classes []
-  in
-  (* Cache the small instances and the big-index -> cone-index maps. *)
+  Array.iteri
+    (fun i (_, v) ->
+      let key = keys.(i) in
+      let s = Canon.fingerprint key in
+      let bucket =
+        match Hashtbl.find_opt classes s with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.replace classes s b;
+            b
+      in
+      if not (List.exists (fun (k, _) -> Canon.equivalent canon key k) !bucket)
+      then bucket := (key, v) :: !bucket)
+    keyed;
+  let representatives = Hashtbl.fold (fun _ b acc -> !b @ acc) classes [] in
+  (* Cache the small instances and the big-index -> cone-index maps.
+     The cache is shared across the parallel coverage checks below;
+     construction is idempotent, so a racing duplicate compute is
+     benign and only the table itself needs the lock. *)
   let cache = Hashtbl.create 64 in
+  let cache_lock = Mutex.create () in
   let small_at apex =
-    match Hashtbl.find_opt cache apex with
+    let cached =
+      Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache apex)
+    in
+    match cached with
     | Some x -> x
     | None ->
         let inst = Ti.small_instance p ~apex in
@@ -133,8 +148,12 @@ let coverage p ~t =
         let sorted = Array.copy members in
         Array.sort compare sorted;
         Array.iteri (fun i v -> Hashtbl.replace local v i) sorted;
-        Hashtbl.replace cache apex (inst, local);
-        (inst, local)
+        Mutex.protect cache_lock (fun () ->
+            match Hashtbl.find_opt cache apex with
+            | Some x -> x
+            | None ->
+                Hashtbl.replace cache apex (inst, local);
+                (inst, local))
   in
   let coord_of v =
     let rec find_level y =
@@ -143,7 +162,7 @@ let coverage p ~t =
     let y = find_level 0 in
     (v - Lt.level_offset ~arity y, y)
   in
-  let node_covered (view, v) =
+  let node_covered (key, v) =
     let x, y = coord_of v in
     List.exists
       (fun k ->
@@ -157,18 +176,20 @@ let coverage p ~t =
         | None -> false
         | Some i ->
             let candidate = View.extract inst ~center:i ~radius:t in
-            Iso.views_isomorphic ( = ) view candidate)
+            Canon.equivalent canon key (Canon.key canon candidate))
       (List.init (p.Ti.r + 1) Fun.id)
   in
+  let flags = Pool.map node_covered (Array.of_list representatives) in
+  let reps = Array.of_list representatives in
   let covered = ref 0 and uncovered = ref None in
-  List.iter
-    (fun rep ->
-      if node_covered rep then incr covered
-      else if !uncovered = None then uncovered := Some (snd rep))
-    representatives;
+  Array.iteri
+    (fun i ok ->
+      if ok then incr covered
+      else if !uncovered = None then uncovered := Some (snd reps.(i)))
+    flags;
   {
     t;
-    total_views = List.length representatives;
+    total_views = Array.length reps;
     covered = !covered;
     uncovered_node = !uncovered;
   }
@@ -191,12 +212,23 @@ let budgeted_a_star p ~budget ~trials =
   let apexes = Ti.apexes p in
   let stride = max 1 (List.length apexes / 64) in
   let sampled = List.filteri (fun i _ -> i mod stride = 0) apexes in
-  let wrongly_rejected_small =
-    List.find_opt
+  (* All sampled apexes are decided in parallel but the witness is the
+     first rejection in sample order, as the sequential scan found. *)
+  let rejected =
+    Pool.map
       (fun apex ->
         Verdict.rejects
           (Decider.decide_oblivious simulated (Ti.small_instance p ~apex)))
-      sampled
+      (Array.of_list sampled)
+  in
+  let sampled = Array.of_list sampled in
+  let wrongly_rejected_small =
+    let rec first i =
+      if i >= Array.length rejected then None
+      else if rejected.(i) then Some sampled.(i)
+      else first (i + 1)
+    in
+    first 0
   in
   match wrongly_rejected_small with
   | Some apex -> Rejects_small apex

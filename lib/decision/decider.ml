@@ -1,4 +1,5 @@
 open Locald_local
+open Locald_runtime
 
 let decide alg lg ~ids = Verdict.of_outputs (Runner.run alg lg ~ids)
 
@@ -14,18 +15,47 @@ type evaluation = {
   failure : (Ids.t * Verdict.t) option;
 }
 
+(* Assignments per parallel batch: big enough to amortise the pool's
+   dispatch, small enough that the failure witness is found without
+   deciding the whole id space. *)
+let tally_chunk = 512
+
 let tally ~expected ~instance ~n assignments_seq alg lg =
+  (* The ball structure is id-independent: extract every view once and
+     only re-decorate per assignment (see Runner.prepare). *)
+  let prep = Runner.prepare alg lg in
+  let verdict_of ids = Verdict.of_outputs (Runner.run_prepared prep ~ids) in
   let correct = ref 0 and wrong = ref 0 and failure = ref None and total = ref 0 in
-  Seq.iter
-    (fun ids ->
-      incr total;
-      let verdict = decide alg lg ~ids in
-      if Verdict.accepts verdict = expected then incr correct
-      else begin
-        incr wrong;
-        if !failure = None then failure := Some (ids, verdict)
-      end)
-    assignments_seq;
+  let rec drain seq =
+    (* Force up to [tally_chunk] assignments sequentially — the
+       sampling / enumeration order must not depend on --jobs — then
+       decide the batch in parallel. *)
+    let buf = ref [] and len = ref 0 and rest = ref seq in
+    let continue = ref true in
+    while !continue && !len < tally_chunk do
+      match !rest () with
+      | Seq.Nil -> continue := false
+      | Seq.Cons (ids, tl) ->
+          buf := ids :: !buf;
+          incr len;
+          rest := tl
+    done;
+    let chunk = Array.of_list (List.rev !buf) in
+    if Array.length chunk > 0 then begin
+      let verdicts = Pool.map verdict_of chunk in
+      Array.iteri
+        (fun i verdict ->
+          incr total;
+          if Verdict.accepts verdict = expected then incr correct
+          else begin
+            incr wrong;
+            if !failure = None then failure := Some (chunk.(i), verdict)
+          end)
+        verdicts;
+      drain !rest
+    end
+  in
+  drain assignments_seq;
   {
     instance;
     n;

@@ -5,7 +5,17 @@
     valid identifier assignment, it accepts every yes-instance and
     rejects every no-instance. Correctness is therefore quantified
     over assignments: [evaluate] samples (or exhausts) assignments
-    valid under a regime and tallies the verdicts. *)
+    valid under a regime and tallies the verdicts.
+
+    [evaluate] and [evaluate_exhaustive] decide batches of assignments
+    on the {!Locald_runtime.Pool}; the algorithm's [decide] function
+    must therefore be safe to call from several domains at once (pure
+    functions and per-call local state are fine). Assignments are
+    sampled / enumerated sequentially before each batch, and views are
+    pre-extracted once per instance ({!Locald_local.Runner.prepare}),
+    so results — including the [failure] witness, which is the first
+    wrong assignment in stream order — are identical at any job
+    count. *)
 
 open Locald_graph
 open Locald_local

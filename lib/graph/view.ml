@@ -21,12 +21,21 @@ let check_ids n = function
           Hashtbl.replace tbl id ())
         ids
 
-let extract ?ids lg ~center ~radius =
+(* Ball extractions performed so far, across all domains. The hoisted
+   decider paths (Runner.prepare) are specified by "per-assignment work
+   does not extract views", and the counter is what lets a test pin
+   that. *)
+let extractions = Atomic.make 0
+
+let extraction_count () = Atomic.get extractions
+
+let extract_mapped ?ids lg ~center ~radius =
   if radius < 0 then invalid "view: negative radius %d" radius;
   (match ids with
   | Some ids when Array.length ids <> Labelled.order lg ->
       invalid "view: %d ids for %d nodes" (Array.length ids) (Labelled.order lg)
   | Some _ | None -> ());
+  Atomic.incr extractions;
   let ball = Graph.ball (Labelled.graph lg) center radius in
   let sub, back = Labelled.induced lg ball in
   (* [back] is sorted, so locate the centre's new index by search. *)
@@ -39,13 +48,16 @@ let extract ?ids lg ~center ~radius =
      Ids.of_array), and an O(n) check here would make whole-graph runs
      quadratic. *)
   check_ids (Labelled.order sub) ids;
-  {
-    center = !new_center;
-    radius;
-    graph = Labelled.graph sub;
-    labels = Labelled.labels sub;
-    ids;
-  }
+  ( {
+      center = !new_center;
+      radius;
+      graph = Labelled.graph sub;
+      labels = Labelled.labels sub;
+      ids;
+    },
+    back )
+
+let extract ?ids lg ~center ~radius = fst (extract_mapped ?ids lg ~center ~radius)
 
 let of_parts ?ids ~center ~radius lg =
   let g = Labelled.graph lg in

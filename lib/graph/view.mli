@@ -22,6 +22,18 @@ val extract : ?ids:int array -> 'a Labelled.t -> center:int -> radius:int -> 'a 
     is the identifier layer's invariant).
     @raise Graph.Invalid_graph on a malformed id assignment. *)
 
+val extract_mapped :
+  ?ids:int array -> 'a Labelled.t -> center:int -> radius:int -> 'a t * int array
+(** Like {!extract}, but also returns the (sorted) array mapping
+    view-local indices back to the original node numbers — what a
+    caller needs to re-attach a fresh id assignment to a pre-extracted
+    view without re-extracting the ball. *)
+
+val extraction_count : unit -> int
+(** Total ball extractions performed so far (all domains). Used by
+    tests to pin that hoisted decision paths do per-assignment work
+    that does not scale with view extraction. *)
+
 val of_parts :
   ?ids:int array -> center:int -> radius:int -> 'a Labelled.t -> 'a t
 (** Wrap an already-extracted ball (used by generators that enumerate

@@ -1,4 +1,5 @@
 open Locald_graph
+open Locald_runtime
 
 type ('a, 'o) t = {
   name : string;
@@ -19,11 +20,17 @@ let run ~rng ~oblivious t lg ~ids =
         if oblivious then None
         else invalid_arg "Randomized.run: non-oblivious run needs ids"
   in
-  Array.init n (fun v ->
-      let node_rng = Random.State.make [| Random.State.bits rng; v |] in
+  (* Coin streams are split per node {e before} the parallel fan-out,
+     in ascending node order, so the bits drawn from [rng] — and hence
+     every node's stream — are independent of [--jobs]. *)
+  let seeds = Pool.split_seeds rng n in
+  Pool.map
+    (fun v ->
+      let node_rng = Random.State.make [| seeds.(v); v |] in
       let view = View.extract ?ids lg ~center:v ~radius:t.radius in
       let view = if oblivious then View.strip_ids view else view in
       t.decide node_rng view)
+    (Pool.init_in_order n Fun.id)
 
 let geometric rng =
   let rec go l = if Random.State.bool rng then l else go (l + 1) in

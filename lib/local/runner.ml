@@ -13,6 +13,42 @@ let run alg lg ~ids =
   Array.init (Labelled.order lg) (fun v ->
       alg.Algorithm.decide (View.extract ~ids lg ~center:v ~radius:alg.radius))
 
+(* Pre-extracted balls for the id-quantifying deciders: the ball
+   structure of node [v] does not depend on the id assignment, only the
+   id decoration does, so extracting once and re-decorating per
+   assignment turns the per-assignment cost from O(ball extraction)
+   into O(view order). *)
+
+type ('a, 'o) prepared = {
+  p_alg : ('a, 'o) Algorithm.t;
+  p_order : int;
+  p_views : ('a View.t * int array) array;
+}
+
+let prepare alg lg =
+  {
+    p_alg = alg;
+    p_order = Labelled.order lg;
+    p_views =
+      Array.init (Labelled.order lg) (fun v ->
+          View.extract_mapped lg ~center:v ~radius:alg.Algorithm.radius);
+  }
+
+let prepared_size prep = prep.p_order
+
+let run_prepared prep ~ids =
+  if Ids.size ids <> prep.p_order then
+    raise
+      (Ids.Invalid_ids
+         (Printf.sprintf "%d ids for a %d-node graph" (Ids.size ids)
+            prep.p_order));
+  let ids = Ids.to_array ids in
+  Array.map
+    (fun (view, back) ->
+      prep.p_alg.Algorithm.decide
+        (View.reassign_ids view (Array.map (fun u -> ids.(u)) back)))
+    prep.p_views
+
 let run_oblivious ob lg =
   Array.init (Labelled.order lg) (fun v ->
       ob.Algorithm.ob_decide

@@ -20,6 +20,24 @@ val run :
 (** Direct view-evaluation engine.
     @raise Ids.Invalid_ids if the assignment has the wrong size. *)
 
+type ('a, 'o) prepared
+(** A labelled graph with every node's radius-[t] ball pre-extracted
+    (id-free). The ball structure is independent of the identifier
+    assignment, so quantifying over assignments only needs to
+    re-decorate the cached views — {!run_prepared} performs no ball
+    extraction at all. *)
+
+val prepare : ('a, 'o) Algorithm.t -> 'a Labelled.t -> ('a, 'o) prepared
+(** Extract all views once ([Labelled.order lg] extractions). *)
+
+val prepared_size : ('a, 'o) prepared -> int
+(** Order of the underlying graph. *)
+
+val run_prepared : ('a, 'o) prepared -> ids:Ids.t -> 'o array
+(** Exactly [run alg lg ~ids], but with the per-assignment view
+    extraction hoisted out.
+    @raise Ids.Invalid_ids if the assignment has the wrong size. *)
+
 val run_oblivious : ('a, 'o) Algorithm.oblivious -> 'a Labelled.t -> 'o array
 (** Id-oblivious algorithms need no identifier assignment at all. *)
 

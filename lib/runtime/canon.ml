@@ -1,0 +1,197 @@
+(* Canonical keys for rooted labelled views, with a memo table.
+
+   A key packages (a) the iso-invariant refinement fingerprint — the
+   same value as [Iso.view_signature], pinned by a test — and (b),
+   whenever the 1-WL refinement of the view is discrete (every vertex
+   its own colour), an exact canonical form: vertices renumbered in
+   colour order, centre rank, labels in rank order, sorted rank-space
+   edge list. Two views with discrete refinements are isomorphic iff
+   their forms are equal, so the expensive backtracking test reduces to
+   a linear comparison; when either refinement is not discrete,
+   [equivalent] falls back transparently to [Iso.views_isomorphic] —
+   cache and canonicalisation can never change an answer, only the
+   route to it.
+
+   The memo table keys computed keys by a structural digest of the raw
+   view (collisions resolved by [View.equal_repr]), so repeated
+   canonicalisation of equal extractions — the common case in coverage
+   enumeration, where the same candidate views recur across cone
+   levels — becomes a hash lookup. All entry points are thread-safe:
+   the table is mutex-guarded and the counters are atomics, because
+   keys are typically computed under [Pool.map]. *)
+
+open Locald_graph
+
+type stats = { hits : int; misses : int; exact : int; fallback : int }
+
+type 'a form = {
+  f_center : int;
+  f_labels : 'a array;
+  f_edges : (int * int) list;
+}
+
+type 'a key = {
+  k_fingerprint : int;
+  k_order : int;
+  k_size : int;
+  k_form : 'a form option;
+  k_view : 'a View.t;
+}
+
+type 'a t = {
+  label_hash : 'a -> int;
+  label_equal : 'a -> 'a -> bool;
+  use_cache : bool;
+  memo : (int, ('a View.t * 'a key) list ref) Hashtbl.t;
+  lock : Mutex.t;
+  s_hits : int Atomic.t;
+  s_misses : int Atomic.t;
+  s_exact : int Atomic.t;
+  s_fallback : int Atomic.t;
+}
+
+let create ?(cache = true) ?(hash = Hashtbl.hash) ~equal () =
+  {
+    label_hash = hash;
+    label_equal = equal;
+    use_cache = cache;
+    memo = Hashtbl.create 256;
+    lock = Mutex.create ();
+    s_hits = Atomic.make 0;
+    s_misses = Atomic.make 0;
+    s_exact = Atomic.make 0;
+    s_fallback = Atomic.make 0;
+  }
+
+let stats t =
+  {
+    hits = Atomic.get t.s_hits;
+    misses = Atomic.get t.s_misses;
+    exact = Atomic.get t.s_exact;
+    fallback = Atomic.get t.s_fallback;
+  }
+
+let fingerprint k = k.k_fingerprint
+let view k = k.k_view
+let exact k = k.k_form <> None
+
+(* Structural (not iso-invariant) digest of a view, for the memo
+   buckets only. *)
+let raw_digest t (v : 'a View.t) =
+  let g = v.View.graph in
+  let h = ref (Hashtbl.hash (v.View.center, Graph.order g, Graph.size g)) in
+  let mix x = h := (!h * 131) + x in
+  Array.iter (fun x -> mix (t.label_hash x)) v.View.labels;
+  for u = 0 to Graph.order g - 1 do
+    mix (u * 8191);
+    Array.iter mix (Graph.neighbours g u)
+  done;
+  !h land max_int
+
+let compute t (view : 'a View.t) =
+  let g = view.View.graph in
+  let n = Graph.order g in
+  let d = View.dist_from_center view in
+  let init =
+    Array.mapi (fun i x -> Hashtbl.hash (t.label_hash x, d.(i))) view.View.labels
+  in
+  let final = Iso.refine_colors g init in
+  let multiset = Array.copy final in
+  Array.sort compare multiset;
+  (* Same formula as [Iso.view_signature] (pinned by a test), so code
+     that buckets by signature keeps its exact bucket boundaries. *)
+  let fp =
+    Hashtbl.hash (final.(view.View.center), Array.to_list multiset, Graph.size g)
+  in
+  let discrete =
+    let rec distinct i = i >= n - 1 || (multiset.(i) <> multiset.(i + 1) && distinct (i + 1)) in
+    distinct 0
+  in
+  let form =
+    if not discrete then None
+    else begin
+      let order = Array.init n Fun.id in
+      Array.sort (fun a b -> compare final.(a) final.(b)) order;
+      let rank = Array.make n 0 in
+      Array.iteri (fun i v -> rank.(v) <- i) order;
+      let edges =
+        List.map
+          (fun (u, v) ->
+            let a = rank.(u) and b = rank.(v) in
+            if a < b then (a, b) else (b, a))
+          (Graph.edges g)
+        |> List.sort compare
+      in
+      Some
+        {
+          f_center = rank.(view.View.center);
+          f_labels = Array.map (fun v -> view.View.labels.(v)) order;
+          f_edges = edges;
+        }
+    end
+  in
+  {
+    k_fingerprint = fp;
+    k_order = n;
+    k_size = Graph.size g;
+    k_form = form;
+    k_view = view;
+  }
+
+let key t view =
+  if not t.use_cache then compute t view
+  else begin
+    let dg = raw_digest t view in
+    Mutex.lock t.lock;
+    let found =
+      match Hashtbl.find_opt t.memo dg with
+      | None -> None
+      | Some b ->
+          List.find_opt (fun (w, _) -> View.equal_repr t.label_equal view w) !b
+    in
+    Mutex.unlock t.lock;
+    match found with
+    | Some (_, k) ->
+        Atomic.incr t.s_hits;
+        k
+    | None ->
+        Atomic.incr t.s_misses;
+        let k = compute t view in
+        Mutex.lock t.lock;
+        (match Hashtbl.find_opt t.memo dg with
+        | Some b -> b := (view, k) :: !b
+        | None -> Hashtbl.replace t.memo dg (ref [ (view, k) ]));
+        Mutex.unlock t.lock;
+        k
+  end
+
+let forms_equal t fa fb =
+  fa.f_center = fb.f_center
+  && Array.length fa.f_labels = Array.length fb.f_labels
+  && fa.f_edges = fb.f_edges
+  &&
+  let n = Array.length fa.f_labels in
+  let rec labels i =
+    i >= n || (t.label_equal fa.f_labels.(i) fb.f_labels.(i) && labels (i + 1))
+  in
+  labels 0
+
+let equivalent ?(exact_threshold = max_int) t ka kb =
+  ka.k_fingerprint = kb.k_fingerprint
+  && ka.k_order = kb.k_order
+  && ka.k_size = kb.k_size
+  &&
+  if ka.k_order > exact_threshold then
+    (* Caller-sanctioned signature-only regime for oversized views
+       (mirrors the historical dedupe threshold in [Gmr]). *)
+    true
+  else
+    match (ka.k_form, kb.k_form) with
+    | Some fa, Some fb ->
+        Atomic.incr t.s_exact;
+        forms_equal t fa fb
+    | _ ->
+        Atomic.incr t.s_fallback;
+        Iso.views_isomorphic t.label_equal ka.k_view kb.k_view
+
+let isomorphic t a b = equivalent t (key t a) (key t b)

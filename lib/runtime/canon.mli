@@ -1,0 +1,62 @@
+(** Canonical keys for rooted labelled views, memoised.
+
+    Coverage enumeration asks the same question millions of times: are
+    these two stripped views isomorphic as rooted labelled graphs?
+    [key] canonicalises a view once — refinement fingerprint (equal to
+    {!Locald_graph.Iso.view_signature} by construction, pinned by a
+    test) plus, when the refinement is discrete, an exact canonical
+    form — after which {!equivalent} is a linear comparison instead of
+    a backtracking search, and repeated canonicalisations of equal
+    extractions are hash lookups in the memo table.
+
+    Transparent-fallback contract: whenever the canonical route cannot
+    decide exactly (non-discrete refinement), [equivalent] falls back
+    to {!Locald_graph.Iso.views_isomorphic}; with the cache on or off
+    the answers are identical (property-tested). [hash] must respect
+    [equal] (equal labels hash equally), the same contract as
+    [Iso.view_signature]. All entry points are thread-safe. *)
+
+open Locald_graph
+
+type 'a t
+
+type 'a key
+
+type stats = {
+  hits : int;      (** memo hits *)
+  misses : int;    (** canonicalisations actually performed *)
+  exact : int;     (** equivalence decided by canonical-form equality *)
+  fallback : int;  (** equivalence decided by the backtracking search *)
+}
+
+val create :
+  ?cache:bool -> ?hash:('a -> int) -> equal:('a -> 'a -> bool) -> unit -> 'a t
+(** [cache:false] disables the memo table (every [key] recanonicalises)
+    without changing any answer — the toggle used by the agreement
+    tests. [hash] defaults to [Hashtbl.hash]. *)
+
+val key : 'a t -> 'a View.t -> 'a key
+
+val fingerprint : 'a key -> int
+(** Iso-invariant: equal for isomorphic views; equal to
+    [Iso.view_signature hash view]. *)
+
+val view : 'a key -> 'a View.t
+
+val exact : 'a key -> bool
+(** Did canonicalisation produce an exact form (discrete refinement)? *)
+
+val equivalent : ?exact_threshold:int -> 'a t -> 'a key -> 'a key -> bool
+(** Rooted-isomorphism test via the keys: fingerprint filter, then
+    canonical-form equality when both keys are exact, else the
+    backtracking fallback. Views larger than [exact_threshold] are
+    compared by fingerprint, order and size alone — the historical
+    big-view dedupe regime of [Gmr] (which can keep spurious
+    duplicates but never lose a class). *)
+
+val isomorphic : 'a t -> 'a View.t -> 'a View.t -> bool
+(** [equivalent] over freshly computed keys; agrees with
+    [Iso.views_isomorphic equal] whenever [exact_threshold] is not in
+    play. *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,65 @@
+(** A fixed-size [Domain]-based worker pool with a deterministic
+    fan-out contract.
+
+    [map] distributes work over a chunked index queue but writes result
+    [i] into slot [i], so its output is byte-identical at any job
+    count; parallelism changes only who computes each slot. Callers
+    with stateful inputs (RNG streams, id draws) must split them {e per
+    work item} sequentially before fanning out — see {!split_seeds} —
+    never per worker.
+
+    Work functions passed to [map] must be thread-safe: they run
+    concurrently on several domains (the repo's deciders are pure view
+    functions, which qualifies). A [map] issued from inside a pool
+    worker runs on the exact sequential path, so nesting cannot
+    deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** [jobs - 1] worker domains plus the calling domain; [jobs] is
+    clamped to [1 .. 64]. [jobs = 1] spawns nothing and every [map]
+    takes the exact sequential path ([Array.map]). *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards. *)
+
+(** {1 The default pool}
+
+    Shared, lazily created, sized by (in priority order) the last
+    {!set_default_jobs} call — the CLI's [--jobs] — the [LOCALD_JOBS]
+    environment variable, and [Domain.recommended_domain_count]. *)
+
+val default : unit -> t
+val default_jobs : unit -> int
+
+val set_default_jobs : int -> unit
+(** Resize the default pool (shutting down the previous one). *)
+
+(** {1 Deterministic fan-out} *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** Ordered parallel map. If any application of [f] raises, the first
+    exception (in claim order) is re-raised on the caller after the
+    fan-out drains, and the pool remains usable. *)
+
+val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_reduce :
+  ?pool:t -> f:('a -> 'b) -> combine:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a array -> 'acc
+(** [map] then a {e sequential} left fold, so the result does not
+    depend on [combine] being associative or commutative. *)
+
+(** {1 Sequential splitting helpers} *)
+
+val init_in_order : int -> (int -> 'a) -> 'a array
+(** Like [Array.init] but with a guaranteed ascending evaluation order
+    — the building block for drawing per-item state before a fan-out. *)
+
+val split_seeds : Random.State.t -> int -> int array
+(** [n] seeds drawn sequentially from [rng]: the per-work-item seed
+    split that keeps randomised experiments byte-identical at any
+    [--jobs]. *)

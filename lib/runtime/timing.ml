@@ -1,0 +1,9 @@
+(* Wall-clock helpers for the experiment drivers and the bench
+   harness (CPU time would hide the whole point of the pool). *)
+
+let wall () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = wall () in
+  let r = f () in
+  (r, wall () -. t0)

@@ -1,0 +1,7 @@
+(** Wall-clock timing (monotonic enough for experiment reporting). *)
+
+val wall : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] is [(f (), wall-clock seconds it took)]. *)

@@ -1,0 +1,365 @@
+(* The parallel runtime: pool semantics, canonical view keys, the
+   decider's view hoist, and the determinism contract — every
+   experiment driver must produce byte-identical results at any job
+   count and across repeated runs with a fixed seed. *)
+
+open Locald_graph
+open Locald_local
+open Locald_core
+open Locald_runtime
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* A shared explicit pool so the unit tests exercise the genuinely
+   parallel path regardless of how the default pool is sized. *)
+let pool = lazy (Pool.create ~jobs:3)
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_sequential () =
+  let pool = Lazy.force pool in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun n ->
+      let xs = Array.init n (fun i -> (i * 7) mod 23) in
+      check
+        (Alcotest.array int)
+        (Printf.sprintf "map = Array.map at n=%d" n)
+        (Array.map f xs)
+        (Pool.map ~pool f xs))
+    [ 0; 1; 2; 3; 17; 100; 1000 ]
+
+let test_map_list () =
+  let pool = Lazy.force pool in
+  let xs = List.init 257 Fun.id in
+  check (Alcotest.list int) "map_list = List.map"
+    (List.map (fun x -> 3 * x) xs)
+    (Pool.map_list ~pool (fun x -> 3 * x) xs)
+
+let test_map_reduce () =
+  let pool = Lazy.force pool in
+  let xs = Array.init 500 Fun.id in
+  check int "map_reduce sums squares"
+    (Array.fold_left (fun acc x -> acc + (x * x)) 0 xs)
+    (Pool.map_reduce ~pool ~f:(fun x -> x * x) ~combine:( + ) ~init:0 xs)
+
+let test_exception_propagation () =
+  let pool = Lazy.force pool in
+  let f x = if x = 13 then failwith "unlucky" else x in
+  (match Pool.map ~pool f (Array.init 100 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure to propagate to the caller"
+  | exception Failure msg -> check Alcotest.string "message" "unlucky" msg);
+  (* The pool must remain usable after a failed fan-out. *)
+  check
+    (Alcotest.array int)
+    "pool reusable after exception"
+    (Array.init 100 (fun i -> i + 1))
+    (Pool.map ~pool (fun x -> x + 1) (Array.init 100 Fun.id))
+
+let test_nested_map () =
+  let pool = Lazy.force pool in
+  (* A map issued from inside a worker takes the sequential path
+     instead of deadlocking on the shared queue. *)
+  let rows = Array.init 20 (fun i -> Array.init 50 (fun j -> i + j)) in
+  let sums =
+    Pool.map ~pool
+      (fun row -> Array.fold_left ( + ) 0 (Pool.map ~pool (fun x -> 2 * x) row))
+      rows
+  in
+  check
+    (Alcotest.array int)
+    "nested maps compute correctly"
+    (Array.map
+       (fun row -> Array.fold_left (fun acc x -> acc + (2 * x)) 0 row)
+       rows)
+    sums
+
+let test_init_in_order () =
+  let trace = ref [] in
+  let a =
+    Pool.init_in_order 10 (fun i ->
+        trace := i :: !trace;
+        i * 3)
+  in
+  check (Alcotest.list int) "ascending evaluation order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !trace);
+  check (Alcotest.array int) "values" (Array.init 10 (fun i -> i * 3)) a
+
+let test_split_seeds () =
+  let expected =
+    let rng = Random.State.make [| 99 |] in
+    Array.init 32 (fun _ -> Random.State.bits rng)
+  in
+  let rng = Random.State.make [| 99 |] in
+  check (Alcotest.array int) "split_seeds = sequential bits draws" expected
+    (Pool.split_seeds rng 32)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical view keys                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let random_perm rng n = shuffle rng (Array.init n Fun.id)
+
+let arbitrary_labelled =
+  QCheck2.Gen.(
+    let* n = int_range 3 16 in
+    let* seed = int_bound 1_000_000 in
+    let rng = Random.State.make [| seed |] in
+    let g = Gen.random_connected rng ~n ~p:0.25 in
+    let labels = Array.init n (fun _ -> Random.State.int rng 3) in
+    return (Labelled.make g labels, seed))
+
+let prop_fingerprint_is_view_signature =
+  QCheck2.Test.make ~name:"Canon fingerprint = Iso.view_signature" ~count:60
+    arbitrary_labelled (fun (lg, seed) ->
+      let canon = Canon.create ~equal:( = ) () in
+      let rng = Random.State.make [| seed + 1 |] in
+      let v = Random.State.int rng (Labelled.order lg) in
+      let view = View.extract lg ~center:v ~radius:2 in
+      Canon.fingerprint (Canon.key canon view)
+      = Iso.view_signature Hashtbl.hash view)
+
+let prop_relabelling_invariance =
+  QCheck2.Test.make
+    ~name:"iso-equivalent views: equal fingerprints, equivalent keys" ~count:60
+    arbitrary_labelled (fun (lg, seed) ->
+      let canon = Canon.create ~equal:( = ) () in
+      let rng = Random.State.make [| seed + 2 |] in
+      let n = Labelled.order lg in
+      let perm = random_perm rng n in
+      let lh = Labelled.relabel_nodes lg perm in
+      let v = Random.State.int rng n in
+      let va = View.extract lg ~center:v ~radius:2 in
+      let vb = View.extract lh ~center:perm.(v) ~radius:2 in
+      let ka = Canon.key canon va and kb = Canon.key canon vb in
+      Canon.fingerprint ka = Canon.fingerprint kb
+      && Canon.equivalent canon ka kb
+      && Canon.isomorphic canon va vb)
+
+let prop_agrees_with_backtracking =
+  QCheck2.Test.make ~name:"Canon.isomorphic = Iso.views_isomorphic" ~count:60
+    arbitrary_labelled (fun (lg, seed) ->
+      let canon = Canon.create ~equal:( = ) () in
+      let rng = Random.State.make [| seed + 3 |] in
+      let n = Labelled.order lg in
+      let a = Random.State.int rng n and b = Random.State.int rng n in
+      let va = View.extract lg ~center:a ~radius:1 in
+      let vb = View.extract lg ~center:b ~radius:1 in
+      Canon.isomorphic canon va vb = Iso.views_isomorphic ( = ) va vb)
+
+let prop_cache_transparent =
+  QCheck2.Test.make ~name:"cache on = cache off" ~count:40 arbitrary_labelled
+    (fun (lg, seed) ->
+      let cached = Canon.create ~cache:true ~equal:( = ) () in
+      let raw = Canon.create ~cache:false ~equal:( = ) () in
+      let rng = Random.State.make [| seed + 4 |] in
+      let n = Labelled.order lg in
+      let views =
+        List.init 6 (fun _ ->
+            View.extract lg ~center:(Random.State.int rng n) ~radius:1)
+      in
+      (* Key every view twice through the cached table (forcing memo
+         hits), then compare every pair's verdict against the uncached
+         table. *)
+      List.iter (fun v -> ignore (Canon.key cached v)) views;
+      List.for_all
+        (fun va ->
+          List.for_all
+            (fun vb ->
+              Canon.equivalent cached (Canon.key cached va)
+                (Canon.key cached vb)
+              = Canon.equivalent raw (Canon.key raw va) (Canon.key raw vb))
+            views)
+        views)
+
+let test_canon_memo_hits () =
+  let canon = Canon.create ~equal:( = ) () in
+  let lg = Labelled.init (Gen.grid 4 4) (fun v -> v mod 2) in
+  for _ = 1 to 3 do
+    ignore (Canon.key canon (View.extract lg ~center:5 ~radius:2))
+  done;
+  let s = Canon.stats canon in
+  check int "memo hits recorded" 2 s.Canon.hits;
+  check int "single canonicalisation" 1 s.Canon.misses
+
+(* ------------------------------------------------------------------ *)
+(* The decider hoist: per-assignment work extracts no views            *)
+(* ------------------------------------------------------------------ *)
+
+let test_prepared_runner_no_extraction () =
+  let regime = Ids.f_linear_plus 1 in
+  let p = { Tree_instances.regime; arity = 2; r = 1 } in
+  let lg = Tree_instances.small_instance p ~apex:(0, 1) in
+  let n = Labelled.order lg in
+  let alg = Tree_deciders.p_decider p in
+  let before = View.extraction_count () in
+  let prep = Runner.prepare alg lg in
+  let after_prepare = View.extraction_count () in
+  check int "prepare extracts once per node" n (after_prepare - before);
+  check int "prepared_size" n (Runner.prepared_size prep);
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 20 do
+    let ids = Ids.sample rng regime ~n in
+    let fast = Runner.run_prepared prep ~ids in
+    let slow = Runner.run alg lg ~ids in
+    check (Alcotest.array bool) "run_prepared = run" slow fast
+  done;
+  (* The 20 assignments cost 20 * n extractions on the direct path and
+     none on the prepared path — the hoist is what keeps exhaustive
+     quantification from re-extracting per assignment. *)
+  check int "per-assignment work extracts no views" (20 * n)
+    (View.extraction_count () - after_prepare)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism battery: every driver, jobs in {1, 2, 4}, repeated      *)
+(* ------------------------------------------------------------------ *)
+
+let digest x = Digest.to_hex (Digest.string (Marshal.to_string x []))
+let seed = 42
+
+let drivers : (string * (unit -> string)) list =
+  [
+    ("table1", fun () -> digest (Experiments.table1 ~quick:true ~seed ()));
+    ("fig1", fun () -> digest (Experiments.fig1 ~quick:true ()));
+    ("fig2", fun () -> digest (Experiments.fig2 ~quick:true ()));
+    ("fig3", fun () -> digest (Experiments.fig3 ~quick:true ()));
+    ( "corollary1",
+      fun () -> digest (Experiments.corollary1 ~quick:true ~seed ()) );
+    ("p3", fun () -> digest (Experiments.p3 ~quick:true ()));
+    ("fuel_diagonal", fun () -> digest (Experiments.fuel_diagonal ~quick:true ()));
+    ( "construction",
+      fun () -> digest (Experiments.construction ~quick:true ~seed ()) );
+    ( "order_invariance",
+      fun () -> digest (Experiments.order_invariance ~quick:true ~seed ()) );
+    ( "hereditary",
+      fun () -> digest (Experiments.hereditary ~quick:true ~seed ()) );
+    ("warmups", fun () -> digest (Experiments.warmups ~quick:true ~seed ()));
+    (* Fault injection under a fixed plan seed: the whole scenario grid
+       (drops, crashes, fuel budgets, retries) must replay exactly —
+       the rows embed the plans, so the digest pins those too. *)
+    ("faults", fun () -> digest (Experiments.faults ~quick:true ~seed ()));
+  ]
+
+let with_jobs jobs f =
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+let test_driver_determinism (name, run) () =
+  let d1 = with_jobs 1 run in
+  let d2 = with_jobs 2 run in
+  let d4 = with_jobs 4 run in
+  let d4' = with_jobs 4 run in
+  check Alcotest.string (name ^ ": jobs=2 = jobs=1") d1 d2;
+  check Alcotest.string (name ^ ": jobs=4 = jobs=1") d1 d4;
+  check Alcotest.string (name ^ ": repeated run identical") d4 d4'
+
+(* ------------------------------------------------------------------ *)
+(* Golden regression: results pinned at the seed parameters            *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_table1 () =
+  let rows = Experiments.table1 ~quick:true () in
+  check int "four cells" 4 (List.length rows);
+  let rel cell =
+    (List.find (fun c -> c.Experiments.cell = cell) rows).Experiments.relation
+  in
+  (* The paper's separation pattern: identifiers help except when the
+     bound is unknowable and the property is non-computable. *)
+  check Alcotest.string "(B, C)" "LD* <> LD" (rel "(B, C)");
+  check Alcotest.string "(B, notC)" "LD* <> LD" (rel "(B, notC)");
+  check Alcotest.string "(notB, C)" "LD* <> LD" (rel "(notB, C)");
+  check Alcotest.string "(notB, notC)" "LD* = LD" (rel "(notB, notC)");
+  List.iter
+    (fun (c : Experiments.cell_result) ->
+      check bool (c.cell ^ ": all evidence holds") true
+        (List.for_all snd c.evidence))
+    rows
+
+let test_golden_fig1 () =
+  let shape =
+    List.map
+      (fun (x : Experiments.fig1_row) ->
+        ((x.arity, x.r, x.t), (x.covered, x.total)))
+      (Experiments.fig1 ~quick:true ())
+  in
+  check
+    (Alcotest.list
+       (Alcotest.pair
+          (Alcotest.triple int int int)
+          (Alcotest.pair int int)))
+    "F1 coverage counts at seed parameters"
+    [ ((2, 1, 0), (127, 127)); ((1, 4, 1), (9, 9)); ((1, 1, 1), (2, 6)) ]
+    shape
+
+let test_golden_p3 () =
+  match Experiments.p3 ~quick:true () with
+  | [ row ] ->
+      check bool "halts in window" true row.Experiments.halts_in_window;
+      check int "G classes" 322 row.Experiments.g_classes;
+      check int "B classes" 322 row.Experiments.b_classes;
+      check int "G covered by B" 322 row.Experiments.g_covered_by_b;
+      check int "B covered by G" 322 row.Experiments.b_covered_by_g
+  | rows -> Alcotest.failf "expected one quick P3 row, got %d" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_fingerprint_is_view_signature;
+      prop_relabelling_invariance;
+      prop_agrees_with_backtracking;
+      prop_cache_transparent;
+    ]
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = Array.map" `Quick test_map_matches_sequential;
+          Alcotest.test_case "map_list" `Quick test_map_list;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested maps" `Quick test_nested_map;
+          Alcotest.test_case "init_in_order" `Quick test_init_in_order;
+          Alcotest.test_case "split_seeds" `Quick test_split_seeds;
+        ] );
+      ( "canon",
+        Alcotest.test_case "memo hits" `Quick test_canon_memo_hits
+        :: qcheck_cases );
+      ( "hoist",
+        [
+          Alcotest.test_case "prepared runner extracts no views per assignment"
+            `Quick test_prepared_runner_no_extraction;
+        ] );
+      ( "determinism",
+        List.map
+          (fun ((name, _) as d) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s identical at jobs 1/2/4" name)
+              `Quick (test_driver_determinism d))
+          drivers );
+      ( "golden",
+        [
+          Alcotest.test_case "Table 1 separation pattern" `Quick
+            test_golden_table1;
+          Alcotest.test_case "F1 coverage counts" `Quick test_golden_fig1;
+          Alcotest.test_case "P3 class counts" `Quick test_golden_p3;
+        ] );
+    ]
