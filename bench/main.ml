@@ -148,7 +148,7 @@ let bench_gossip_engine =
   let lg = lazy (Labelled.init (Gen.grid 6 6) (fun v -> v mod 4)) in
   let alg =
     Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
-        Hashtbl.hash view.View.labels)
+        Iso.view_signature Hashtbl.hash view)
   in
   let rng = Random.State.make [| 22 |] in
   Test.make ~name:"message-passing engine (6x6 grid, t=2)"
@@ -164,7 +164,7 @@ let bench_fault_engine_empty =
   let lg = lazy (Labelled.init (Gen.grid 6 6) (fun v -> v mod 4)) in
   let alg =
     Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
-        Hashtbl.hash view.View.labels)
+        Iso.view_signature Hashtbl.hash view)
   in
   let rng = Random.State.make [| 22 |] in
   Test.make ~name:"fault engine, empty plan (6x6 grid, t=2)"
@@ -177,7 +177,7 @@ let bench_fault_engine_lossy =
   let lg = lazy (Labelled.init (Gen.grid 6 6) (fun v -> v mod 4)) in
   let alg =
     Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
-        Hashtbl.hash view.View.labels)
+        Iso.view_signature Hashtbl.hash view)
   in
   let rng = Random.State.make [| 22 |] in
   let plan = Faults.make ~seed:7 ~drop:0.1 ~retries:1 () in
@@ -359,6 +359,18 @@ let run_ablations () =
 
 let digest_of x = Digest.to_hex (Digest.string (Marshal.to_string x []))
 
+(* Certification workloads report the trace-event count as their
+   problem size: wall-clock per traced event is the figure of merit
+   for the provenance monitor. *)
+let certify_summary (report : Locald_analysis.Analysis.report) =
+  let open Locald_analysis.Analysis in
+  ( report.rep_events,
+    digest_of
+      ( verdict_name report.rep_verdict,
+        report.rep_views,
+        report.rep_events,
+        report.rep_max_depth ) )
+
 let quick_workloads =
   [
     ( "f1-coverage",
@@ -400,6 +412,19 @@ let quick_workloads =
               max acc r.Experiments.n)
             0 rows,
           digest_of rows ) );
+    ( "certify-tree",
+      fun () ->
+        certify_summary
+          (Locald_analysis.Analysis.certify
+             (Tree_deciders.p_decider tree_params)
+             ~instances:[ ("T_r", Lazy.force big_tree) ]) );
+    ( "certify-gmr",
+      fun () ->
+        let t = Lazy.force gmr_instance in
+        certify_summary
+          (Locald_analysis.Analysis.certify
+             (Gmr_deciders.ld_decider ())
+             ~instances:[ ("G(M,1)", t.Gmr.lg) ]) );
   ]
 
 let run_quick_bench path =

@@ -159,6 +159,70 @@ let faults_cmd =
       $ retries $ runs)
 
 (* ------------------------------------------------------------------ *)
+(* Certification and lint                                              *)
+(* ------------------------------------------------------------------ *)
+
+let certify_cmd =
+  (* No timing output here, deliberately: CI asserts the certification
+     run is byte-identical at --jobs 1 and --jobs 4. *)
+  let run _all quick jobs =
+    apply_jobs jobs;
+    let rows = Locald_core.Certify.run ~quick () in
+    Report.print_certify rows;
+    if not (Locald_core.Certify.all_ok rows) then exit 1
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Certify every registered decider (the default; present for \
+             symmetry with the other subcommands).")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Certify the bundled deciders as Id-oblivious or Id-dependent by \
+          access-trace provenance analysis; non-zero exit on any verdict \
+          that contradicts a decider's declared classification.")
+    Term.(const run $ all_flag $ quick_flag $ jobs_opt)
+
+let lint_cmd =
+  let run roots =
+    let roots = if roots = [] then [ "lib" ] else roots in
+    let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+    if missing <> [] then begin
+      prerr_endline ("locald lint: no such path: " ^ String.concat ", " missing);
+      exit 2
+    end;
+    let findings = Locald_analysis.Lint.scan_tree ~roots in
+    List.iter
+      (fun f ->
+        print_endline
+          (Format.asprintf "%a" Locald_analysis.Lint.pp_finding f))
+      findings;
+    match findings with
+    | [] ->
+        Printf.printf "lint: clean (%s)\n" (String.concat " " roots)
+    | fs ->
+        Printf.printf "lint: %d finding(s)\n" (List.length fs);
+        exit 1
+  in
+  let roots =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to scan (default: lib).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Fast source-level checks: polymorphic compare/hash on graph \
+          structures, naked .ids field access outside lib/graph and \
+          lib/analysis, Random.self_init. Non-zero exit on findings.")
+    Term.(const run $ roots)
+
+(* ------------------------------------------------------------------ *)
 (* Inspection subcommands                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -323,7 +387,7 @@ let main =
     [
       table1_cmd; fig1_cmd; fig2_cmd; fig3_cmd; corollary1_cmd; p3_cmd;
       diagonal_cmd; oi_cmd; hereditary_cmd; construction_cmd; warmups_cmd;
-      faults_cmd; gmr_cmd; coverage_cmd; all_cmd;
+      faults_cmd; certify_cmd; lint_cmd; gmr_cmd; coverage_cmd; all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

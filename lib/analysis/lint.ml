@@ -1,0 +1,299 @@
+type rule = Poly_compare | Naked_ids_access | Self_init
+
+type finding = {
+  f_file : string;
+  f_line : int;
+  f_rule : rule;
+  f_excerpt : string;
+}
+
+let rule_name = function
+  | Poly_compare -> "poly-compare"
+  | Naked_ids_access -> "naked-ids-access"
+  | Self_init -> "self-init"
+
+let rule_help = function
+  | Poly_compare ->
+      "structural =/<>/Hashtbl.hash on a Graph.t/View.t/Labelled.t payload; \
+       use Graph.equal, Iso.views_isomorphic, Iso.view_signature or a Canon \
+       key"
+  | Naked_ids_access ->
+      ".ids field access bypasses the access monitor; use \
+       View.ids/View.id/View.center_id"
+  | Self_init ->
+      "nondeterministic RNG seeding; thread an explicit Random.State instead"
+
+(* The banned tokens are assembled by concatenation so that this file
+   does not flag itself when the tree scan reaches lib/analysis. *)
+let self_init_token = "Random." ^ "self_init"
+let hash_token = "Hashtbl." ^ "hash"
+let allow_marker = "locald-lint:" ^ " allow"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Substring search: index of the first occurrence of [sub] in [line]
+   at or after [from], or -1. *)
+let find_sub line sub from =
+  let n = String.length line and m = String.length sub in
+  if m = 0 then from
+  else begin
+    let res = ref (-1) and i = ref from in
+    while !res < 0 && !i + m <= n do
+      if String.sub line !i m = sub then res := !i else incr i
+    done;
+    !res
+  end
+
+let contains line sub = find_sub line sub 0 >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Comment and string masking                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Lexer state carried across lines: OCaml comments nest, and string
+   literals span lines via backslash-newline continuations. *)
+type lex_state = { depth : int; in_str : bool }
+
+let initial_state = { depth = 0; in_str = false }
+
+(* Blank out comment text and string-literal contents so the rules see
+   only code: a banned token inside a doc comment or a help string is
+   prose, not a use. A string literal inside a comment still delimits
+   (a close-comment sequence inside it does not end the comment), so
+   both states are tracked together. *)
+let mask_code st line =
+  let n = String.length line in
+  let buf = Bytes.of_string line in
+  let blank i = Bytes.set buf i ' ' in
+  let d = ref st.depth and in_str = ref st.in_str in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_str then begin
+      blank !i;
+      if c = '\\' && !i + 1 < n then begin
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else begin
+        if c = '"' then in_str := false;
+        incr i
+      end
+    end
+    else if
+      c = '"'
+      && not (!i > 0 && line.[!i - 1] = '\'' && !i + 1 < n && line.[!i + 1] = '\'')
+    then begin
+      (* Opening quote (but not the char literal '"'). *)
+      if !d > 0 then blank !i;
+      in_str := true;
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && line.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      incr d;
+      i := !i + 2
+    end
+    else if !d > 0 && c = '*' && !i + 1 < n && line.[!i + 1] = ')' then begin
+      blank !i;
+      blank (!i + 1);
+      decr d;
+      i := !i + 2
+    end
+    else begin
+      if !d > 0 then blank !i;
+      incr i
+    end
+  done;
+  (Bytes.to_string buf, { depth = !d; in_str = !in_str })
+
+(* Parse the dotted identifier path starting at [i]; returns the
+   position after it and the list of components (empty if none). *)
+let dotted_path line i =
+  let n = String.length line in
+  let comps = ref [] and j = ref i in
+  let continue = ref true in
+  while !continue do
+    let start = !j in
+    while !j < n && is_ident_char line.[!j] do
+      incr j
+    done;
+    if !j > start then begin
+      comps := String.sub line start (!j - start) :: !comps;
+      if !j < n && line.[!j] = '.' && !j + 1 < n && is_ident_char line.[!j + 1]
+      then incr j
+      else continue := false
+    end
+    else continue := false
+  done;
+  (!j, List.rev !comps)
+
+let last = function [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+let payload_field = function
+  | Some ("labels" | "graph" | "ids") -> true
+  | Some _ | None -> false
+
+(* Hashtbl.hash applied (possibly through parentheses) to a projection
+   of a structural payload: `Hashtbl.hash view.View.labels`,
+   `Hashtbl.hash (g.Labelled.graph)`. Passing Hashtbl.hash as a hash
+   function for *labels* (`Iso.view_signature Hashtbl.hash v`) is
+   fine and does not match: the argument path has no payload field. *)
+let poly_hash_at line i =
+  let n = String.length line in
+  let j = ref (i + String.length hash_token) in
+  while !j < n && (line.[!j] = ' ' || line.[!j] = '(') do
+    incr j
+  done;
+  let _, comps = dotted_path line !j in
+  List.length comps >= 2 && payload_field (last comps)
+
+let rec any_occurrence line token from pred =
+  match find_sub line token from with
+  | -1 -> false
+  | i -> pred i || any_occurrence line token (i + 1) pred
+
+(* `....graph = ` / `....labels <> `: structural comparison of a payload
+   projection. Record-literal bindings (`{ g = view.View.graph; ... }`)
+   put the projection on the *right* of the `=` and do not match. *)
+let poly_compare_at line i =
+  (* [i] points at the '.' of ".graph"/".labels"; find the end of the
+     field, require a word boundary, skip spaces, require =/<> (but not
+     == or =>). *)
+  let n = String.length line in
+  let j = ref (i + 1) in
+  while !j < n && is_ident_char line.[!j] do
+    incr j
+  done;
+  let k = ref !j in
+  while !k < n && line.[!k] = ' ' do
+    incr k
+  done;
+  if !k >= n then false
+  else if line.[!k] = '=' then not (!k + 1 < n && (line.[!k + 1] = '=' || line.[!k + 1] = '>'))
+  else !k + 1 < n && line.[!k] = '<' && line.[!k + 1] = '>'
+
+let poly_compare_hit line =
+  let n = String.length line in
+  let check field =
+    let token = "." ^ field in
+    any_occurrence line token 0 (fun i ->
+        let after = i + String.length token in
+        (after >= n || not (is_ident_char line.[after]))
+        && poly_compare_at line i)
+  in
+  check "graph" || check "labels"
+
+(* A `.ids` projection: walk back over the dotted path; it is a field
+   access (not the accessor `View.ids view` or a qualified
+   `Locald_graph.View.ids`) when the path's head component is a
+   lowercase value or a closing parenthesis. *)
+let naked_ids_at line i =
+  let after = i + 4 in
+  let n = String.length line in
+  (after >= n || not (is_ident_char line.[after]))
+  &&
+  (* walk back to the start of the dotted path *)
+  let j = ref i in
+  let continue = ref true in
+  while !continue && !j > 0 do
+    let c = line.[!j - 1] in
+    if is_ident_char c || c = '.' then decr j else continue := false
+  done;
+  if !j = i then (* bare ".ids" after e.g. ')' *)
+    i > 0 && line.[i - 1] = ')'
+  else
+    let head_end = ref !j in
+    while !head_end < i && line.[!head_end] <> '.' do
+      incr head_end
+    done;
+    !head_end > !j
+    &&
+    let c = line.[!j] in
+    c >= 'a' && c <= 'z' || c = '_'
+
+let naked_ids_hit line =
+  any_occurrence line (".ids") 0 (fun i -> naked_ids_at line i)
+
+(* Rule matching on a line already stripped of comments and string
+   contents. The allow marker is checked on the RAW line — it lives in
+   a comment by design. *)
+let rules_on ~allow_ids masked =
+  let hits = ref [] in
+  if contains masked self_init_token then hits := Self_init :: !hits;
+  if
+    any_occurrence masked hash_token 0 (fun i -> poly_hash_at masked i)
+    || poly_compare_hit masked
+  then hits := Poly_compare :: !hits;
+  if (not allow_ids) && naked_ids_hit masked then
+    hits := Naked_ids_access :: !hits;
+  List.rev !hits
+
+let scan_line ~allow_ids line =
+  if contains line allow_marker then []
+  else
+    let masked, _ = mask_code initial_state line in
+    rules_on ~allow_ids masked
+
+let scan_string ?(file = "<string>") ~allow_ids text =
+  let findings = ref [] in
+  let state = ref initial_state in
+  List.iteri
+    (fun i line ->
+      let masked, state' = mask_code !state line in
+      state := state';
+      if not (contains line allow_marker) then
+        List.iter
+          (fun rule ->
+            findings :=
+              { f_file = file; f_line = i + 1; f_rule = rule; f_excerpt = String.trim line }
+              :: !findings)
+          (rules_on ~allow_ids masked))
+    (String.split_on_char '\n' text);
+  List.rev !findings
+
+let ids_allowed_for path =
+  (* Normalise separators defensively; the repo is built on one OS but
+     paths can arrive with either. *)
+  let norm = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let has sub = find_sub norm sub 0 >= 0 in
+  has "lib/graph" || has "lib/analysis"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path =
+  scan_string ~file:path ~allow_ids:(ids_allowed_for path) (read_file path)
+
+let source_file path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let skip_dir name =
+  name = "_build" || name = ".git" || name = "_opam" || name = "node_modules"
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if skip_dir entry then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if source_file path then path :: acc
+  else acc
+
+let scan_tree ~roots =
+  let files = List.fold_left collect [] roots |> List.rev in
+  List.concat_map scan_file files
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.f_file f.f_line (rule_name f.f_rule)
+    f.f_excerpt

@@ -1,0 +1,60 @@
+(** Fast source-level codebase checks backing [locald lint].
+
+    These are deliberately {e lexical} (line-based token heuristics, no
+    type information): they run in milliseconds over the whole tree and
+    catch the specific idioms this repo bans, at the price of being
+    incomplete in general. The rules:
+
+    - {!Poly_compare} — polymorphic structural [=]/[<>]/[Hashtbl.hash]
+      applied to a [Graph.t]/[View.t]/[Labelled.t] payload projection
+      ([....labels], [....graph], [....ids]). Structural equality on
+      these types is representation equality, not isomorphism, and
+      [Hashtbl.hash] on them is not isomorphism-invariant; use
+      [Graph.equal], [Iso.views_isomorphic], [Iso.view_signature] or a
+      [Canon] key instead.
+    - {!Naked_ids_access} — direct [.ids] record-field access on a view
+      outside [lib/graph] and [lib/analysis]. Field reads bypass the
+      access monitor, so a single stray projection would void the
+      obliviousness certificates produced by {!Analysis.certify}; go
+      through [View.ids]/[View.id]/[View.center_id].
+    - {!Self_init} — [Random.self_init]: nondeterministic seeding has
+      no place in a repo whose outputs must be byte-identical across
+      runs and job counts.
+
+    Comment text and string-literal contents are masked out before the
+    rules run — a banned token in a doc comment or a help string is
+    prose, not a use. Comment nesting and backslash-continued strings
+    are tracked across lines. A line containing the marker
+    [locald-lint: allow] is exempt from all rules. *)
+
+type rule = Poly_compare | Naked_ids_access | Self_init
+
+type finding = {
+  f_file : string;    (** as given to the scanner *)
+  f_line : int;       (** 1-based *)
+  f_rule : rule;
+  f_excerpt : string; (** the offending line, trimmed *)
+}
+
+val rule_name : rule -> string
+val rule_help : rule -> string
+
+val scan_line : allow_ids:bool -> string -> rule list
+(** Rules violated by one source line (masked as if it opened at
+    top-level: no enclosing comment or string). [allow_ids] disables
+    {!Naked_ids_access} (true under [lib/graph]/[lib/analysis], where
+    the representation is the module's own business). Exposed for unit
+    tests. *)
+
+val scan_string : ?file:string -> allow_ids:bool -> string -> finding list
+(** Scan a whole source text (split on newlines). *)
+
+val scan_file : string -> finding list
+(** Scan one [.ml]/[.mli] file; [allow_ids] is derived from the path. *)
+
+val scan_tree : roots:string list -> finding list
+(** Recursively scan every [.ml] and [.mli] under the roots (skipping
+    [_build], [.git] and [_opam]), in sorted path order. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule] excerpt] — one line, editor-clickable. *)

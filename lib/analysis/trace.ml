@@ -1,0 +1,88 @@
+open Locald_graph
+
+type t = {
+  events : View.access list;
+  input_id_reads : int;
+  input_bulk_reads : int;
+  synthetic_id_reads : int;
+  label_reads : int;
+  structure_reads : int;
+  max_depth : int;
+}
+
+let of_events events =
+  let input_id_reads = ref 0
+  and input_bulk_reads = ref 0
+  and synthetic_id_reads = ref 0
+  and label_reads = ref 0
+  and structure_reads = ref 0
+  and max_depth = ref (-1) in
+  let depth d = if d > !max_depth then max_depth := d in
+  List.iter
+    (fun (ev : View.access) ->
+      match ev with
+      | View.Id_read { depth = d; input; _ } ->
+          if input then incr input_id_reads else incr synthetic_id_reads;
+          depth d
+      | View.Ids_read { input } ->
+          if input then incr input_bulk_reads else incr synthetic_id_reads
+      | View.Label_read { depth = d; _ } ->
+          incr label_reads;
+          depth d
+      | View.Structure_read { node; depth = d } ->
+          incr structure_reads;
+          (match node with Some _ -> depth d | None -> ()))
+    events;
+  {
+    events;
+    input_id_reads = !input_id_reads;
+    input_bulk_reads = !input_bulk_reads;
+    synthetic_id_reads = !synthetic_id_reads;
+    label_reads = !label_reads;
+    structure_reads = !structure_reads;
+    max_depth = !max_depth;
+  }
+
+let run ~input_ids f v =
+  let acc = ref [] in
+  let mon = { View.input_ids; emit = (fun ev -> acc := ev :: !acc) } in
+  let out = View.with_monitor mon (fun () -> f v) in
+  (out, of_events (List.rev !acc))
+
+let reads_input_ids t = t.input_id_reads > 0 || t.input_bulk_reads > 0
+
+let first_input_id_read t =
+  List.find_opt
+    (fun (ev : View.access) ->
+      match ev with
+      | View.Id_read { input; _ } | View.Ids_read { input } -> input
+      | View.Label_read _ | View.Structure_read _ -> false)
+    t.events
+
+let total_events t = List.length t.events
+
+let equal a b = a.events = b.events
+
+let pp_access ppf (ev : View.access) =
+  match ev with
+  | View.Id_read { node; depth; id; input } ->
+      Format.fprintf ppf "id-read(node %d, depth %d, id %d, %s)" node depth id
+        (if input then "input" else "synthetic")
+  | View.Ids_read { input } ->
+      Format.fprintf ppf "ids-read(all, %s)"
+        (if input then "input" else "synthetic")
+  | View.Label_read { node; depth } ->
+      Format.fprintf ppf "label-read(node %d, depth %d)" node depth
+  | View.Structure_read { node = None; depth = _ } ->
+      Format.fprintf ppf "structure-read(whole view)"
+  | View.Structure_read { node = Some v; depth } ->
+      Format.fprintf ppf "structure-read(node %d, depth %d)" v depth
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v 2>trace: %d events (id %d input / %d synthetic / %d bulk; label %d; \
+     structure %d; max depth %d)"
+    (total_events t) t.input_id_reads t.synthetic_id_reads t.input_bulk_reads
+    t.label_reads t.structure_reads t.max_depth;
+  List.iter (fun ev -> Format.fprintf ppf "@ %a" pp_access ev) t.events;
+  Format.fprintf ppf "@]"

@@ -145,7 +145,6 @@ let two_colouring_blaming_decider () =
   Algorithm.make ~name:"2col-min-id-blames" ~radius:1 (fun view ->
       let g = view.View.graph in
       let c = view.View.center in
-      let ids = match view.View.ids with Some ids -> ids | None -> [||] in
       let colour v = view.View.labels.(v) in
       let violating_with u = colour u = colour c in
       let violators =
@@ -155,8 +154,9 @@ let two_colouring_blaming_decider () =
       | [] -> true
       | us ->
           (* Yes unless this node carries the smaller identifier of
-             some violated edge. *)
-          not (List.exists (fun u -> ids.(c) < ids.(u)) us))
+             some violated edge. Identifier reads go through the
+             instrumented accessor so the certifier can witness them. *)
+          not (List.exists (fun u -> View.id view c < View.id view u) us))
 
 let cell_nbnc ?seed ~quick () =
   let rng = rng ?seed () in
@@ -609,7 +609,7 @@ let construction ?(quick = false) ?seed () =
         let ids = Locald_local.Ids.shuffled rng n in
         let alg =
           Locald_local.Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
-              Hashtbl.hash view.Locald_graph.View.labels)
+              Iso.view_signature Hashtbl.hash view)
         in
         let _, stats = Locald_local.Runner.run_message_passing_stats alg lg ~ids in
         {

@@ -33,6 +33,13 @@ val cell_nbc : ?seed:int -> quick:bool -> unit -> cell_result
 val cell_nbnc : ?seed:int -> quick:bool -> unit -> cell_result
 (** The (notB, notC) equality via the Id-oblivious simulation [A*]. *)
 
+val two_colouring_blaming_decider : unit -> (int, bool) Algorithm.t
+(** The (notB, notC) witness decider: on a violated 2-colouring edge,
+    the endpoint carrying the {e smaller identifier} takes the blame —
+    genuinely Id-dependent node outputs (the certifier exhibits the id
+    read), removable by the simulation [A*]. Exposed for the
+    certification registry. *)
+
 (** {1 F1 — Figure 1 (layered trees and view coverage)} *)
 
 type fig1_row = {

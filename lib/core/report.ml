@@ -207,6 +207,89 @@ let print_faults rows =
   print_rule ()
 
 (* ------------------------------------------------------------------ *)
+(* Obliviousness certification                                         *)
+(* ------------------------------------------------------------------ *)
+
+let print_certify rows =
+  let open Locald_analysis in
+  print_rule ();
+  print_endline "CERT: who reads the input identifiers, and where";
+  print_endline
+    "      (access-trace provenance certification of the bundled deciders)";
+  print_rule ();
+  List.iter
+    (fun (r : Certify.row) ->
+      Printf.printf "%-13s %-26s r=%d  %-20s %s\n" r.Certify.c_cell
+        r.Certify.c_name r.Certify.c_radius
+        (Analysis.verdict_name r.Certify.c_report.Analysis.rep_verdict)
+        (if r.Certify.c_ok then "[ok]"
+         else
+           Printf.sprintf "[MISMATCH: declared %s]"
+             (Certify.claim_name r.Certify.c_claim));
+      let rep = r.Certify.c_report in
+      Printf.printf "    views %d/%d%s  events %d  max depth %d\n"
+        rep.Analysis.rep_views rep.Analysis.rep_total
+        (if rep.Analysis.rep_degraded > 0 then
+           Printf.sprintf " (%d degraded)" rep.Analysis.rep_degraded
+         else "")
+        rep.Analysis.rep_events rep.Analysis.rep_max_depth;
+      (match rep.Analysis.rep_verdict with
+      | Analysis.Id_dependent w ->
+          (* [Printf] writes straight to stdout while [Format.printf]
+             buffers until exit; going through [asprintf] keeps the
+             witness line in place. *)
+          Printf.printf "    witness: %s node %d - %s\n" w.Analysis.w_instance
+            w.Analysis.w_node
+            (Format.asprintf "%a" Trace.pp_access w.Analysis.w_access);
+          Option.iter
+            (fun (c : Analysis.confirmation) ->
+              match c.Analysis.cf_variance with
+              | Some (v : Locald_local.Oblivious.witness) ->
+                  Printf.printf
+                    "    confirmed: output variance on %s at node %d (%s)\n"
+                    c.Analysis.cf_instance v.Locald_local.Oblivious.node
+                    c.Analysis.cf_method
+              | None ->
+                  Printf.printf "    NOT confirmed: no variance on %s (%s)\n"
+                    c.Analysis.cf_instance c.Analysis.cf_method)
+            w.Analysis.w_confirmation
+      | Analysis.Inconclusive { why; _ } ->
+          Printf.printf "    inconclusive: %s\n" why
+      | Analysis.Certified_oblivious -> ());
+      List.iter
+        (fun f ->
+          Printf.printf "    flag: %s\n"
+            (Format.asprintf "%a" Analysis.pp_flag f))
+        rep.Analysis.rep_flags)
+    rows;
+  print_rule ();
+  (* The Table 1 grid, verdict-shaped: how many deciders of each cell
+     certified oblivious vs produced an id-read witness. *)
+  let cell_summary cell =
+    let mine = List.filter (fun r -> r.Certify.c_cell = cell) rows in
+    if mine = [] then "-"
+    else
+      let count p = List.length (List.filter p mine) in
+      let obliv =
+        count (fun r -> Analysis.certified r.Certify.c_report)
+      and dep = count (fun r -> Analysis.id_dependent r.Certify.c_report)
+      and bad = count (fun r -> not r.Certify.c_ok) in
+      Printf.sprintf "%d oblivious, %d id-dep%s" obliv dep
+        (if bad > 0 then Printf.sprintf ", %d MISMATCH" bad else "")
+  in
+  Printf.printf "           |  %-24s %-24s\n" "(C)" "(notC)";
+  Printf.printf "(B)        |  %-24s %-24s\n"
+    (cell_summary "(B, C)")
+    (cell_summary "(B, notC)");
+  Printf.printf "(notB)     |  %-24s %-24s\n"
+    (cell_summary "(notB, C)")
+    (cell_summary "(notB, notC)");
+  print_rule ();
+  if Certify.all_ok rows then
+    print_endline "every decider certifies as declared"
+  else print_endline "MISMATCH: some decider does not certify as declared"
+
+(* ------------------------------------------------------------------ *)
 (* Wall-clock timings                                                  *)
 (* ------------------------------------------------------------------ *)
 

@@ -15,6 +15,12 @@ val print_oi : Experiments.oi_row list -> unit
 val print_construction : Experiments.construction_row list -> unit
 val print_faults : Experiments.fault_row list -> unit
 
+val print_certify : Certify.row list -> unit
+(** Per-subject verdicts with witnesses and flags, then a Table-1-shaped
+    grid summarising oblivious vs id-dependent counts per cell. Prints
+    no timings: the output is byte-identical across runs and job
+    counts (asserted by CI). *)
+
 type timing = {
   t_experiment : string;
   t_wall : float;           (** seconds *)

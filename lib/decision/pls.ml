@@ -73,7 +73,7 @@ let leader_prover lg ~ids =
 
 let leader_verify (view : (bool * leader_cert) View.t) =
   let c = view.View.center in
-  let ids = match view.View.ids with Some ids -> ids | None -> [||] in
+  let ids = match View.ids view with Some ids -> ids | None -> [||] in
   let is_leader, cert = view.View.labels.(c) in
   let nbrs = Graph.neighbours view.View.graph c in
   (* Everyone in sight agrees on the leader's identifier. *)

@@ -6,6 +6,8 @@ type 'a t = {
   ids : int array option;
 }
 
+exception No_ids of string
+
 let invalid fmt = Format.kasprintf (fun s -> raise (Graph.Invalid_graph s)) fmt
 
 let check_ids n = function
@@ -20,6 +22,88 @@ let check_ids n = function
           if Hashtbl.mem tbl id then invalid "view: duplicate identifier %d" id;
           Hashtbl.replace tbl id ())
         ids
+
+(* ------------------------------------------------------------------ *)
+(* Access monitoring                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type access =
+  | Id_read of { node : int; depth : int; id : int; input : bool }
+  | Ids_read of { input : bool }
+  | Label_read of { node : int; depth : int }
+  | Structure_read of { node : int option; depth : int }
+
+type monitor = {
+  input_ids : int array -> bool;
+  emit : access -> unit;
+}
+
+(* The installed monitor plus a one-slot distance memo: access events
+   need the accessed node's distance from the centre, and the common
+   case is a burst of reads against one view (and its strip/reassign
+   derivatives, which share the graph and centre physically). *)
+type installed = {
+  mon : monitor;
+  mutable memo_graph : Graph.t option;
+  mutable memo_center : int;
+  mutable memo_dist : int array;
+}
+
+let monitor_slot : installed option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let monitored () = !(Domain.DLS.get monitor_slot) <> None
+
+let with_monitor mon f =
+  let slot = Domain.DLS.get monitor_slot in
+  let previous = !slot in
+  slot :=
+    Some { mon; memo_graph = None; memo_center = -1; memo_dist = [||] };
+  Fun.protect ~finally:(fun () -> slot := previous) f
+
+let depth_of inst view v =
+  let fresh =
+    match inst.memo_graph with
+    | Some g -> not (g == view.graph && inst.memo_center = view.center)
+    | None -> true
+  in
+  if fresh then begin
+    inst.memo_graph <- Some view.graph;
+    inst.memo_center <- view.center;
+    inst.memo_dist <- Graph.bfs_distances view.graph view.center
+  end;
+  inst.memo_dist.(v)
+
+let[@inline] note view make =
+  match !(Domain.DLS.get monitor_slot) with
+  | None -> ()
+  | Some inst -> inst.mon.emit (make inst view)
+
+let note_id view v ids =
+  note view (fun inst view ->
+      Id_read
+        {
+          node = v;
+          depth = depth_of inst view v;
+          id = ids.(v);
+          input = inst.mon.input_ids ids;
+        })
+
+let note_ids _view ids =
+  note _view (fun inst _ -> Ids_read { input = inst.mon.input_ids ids })
+
+let note_label view v =
+  note view (fun inst view -> Label_read { node = v; depth = depth_of inst view v })
+
+let note_structure view v =
+  note view (fun inst view ->
+      match v with
+      | None -> Structure_read { node = None; depth = 0 }
+      | Some v -> Structure_read { node = Some v; depth = depth_of inst view v })
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
 
 (* Ball extractions performed so far, across all domains. The hoisted
    decider paths (Runner.prepare) are specified by "per-assignment work
@@ -72,20 +156,67 @@ let of_parts ?ids ~center ~radius lg =
   { center; radius; graph = g; labels = Labelled.labels lg; ids }
 
 let strip_ids view = { view with ids = None }
-let order view = Graph.order view.graph
-let center_label view = view.labels.(view.center)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented accessors                                              *)
+(* ------------------------------------------------------------------ *)
+
+let order view =
+  note_structure view None;
+  Graph.order view.graph
+
+let center_label view =
+  note_label view view.center;
+  view.labels.(view.center)
 
 let center_id view =
   match view.ids with
-  | None -> raise Not_found
-  | Some ids -> ids.(view.center)
+  | None -> raise (No_ids "View.center_id: the view carries no identifiers")
+  | Some ids ->
+      note_id view view.center ids;
+      ids.(view.center)
 
-let dist_from_center view = Graph.bfs_distances view.graph view.center
+let id view v =
+  if v < 0 || v >= Graph.order view.graph then
+    invalid_arg (Printf.sprintf "View.id: node %d out of range" v);
+  match view.ids with
+  | None -> raise (No_ids "View.id: the view carries no identifiers")
+  | Some ids ->
+      note_id view v ids;
+      ids.(v)
+
+let ids view =
+  (match view.ids with Some a -> note_ids view a | None -> ());
+  view.ids
+
+let has_ids view = view.ids <> None
+
+let label view v =
+  if v < 0 || v >= Graph.order view.graph then
+    invalid_arg (Printf.sprintf "View.label: node %d out of range" v);
+  note_label view v;
+  view.labels.(v)
+
+let neighbours view v =
+  note_structure view (Some v);
+  Graph.neighbours view.graph v
+
+let degree view v =
+  note_structure view (Some v);
+  Graph.degree view.graph v
+
+let dist_from_center view =
+  note_structure view None;
+  Graph.bfs_distances view.graph view.center
+
+(* ------------------------------------------------------------------ *)
+(* Transformations                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let map_labels f view = { view with labels = Array.map f view.labels }
 
 let reassign_ids view ids =
-  check_ids (order view) (Some ids);
+  check_ids (Graph.order view.graph) (Some ids);
   { view with ids = Some ids }
 
 let equal_repr eq a b =

@@ -4,7 +4,21 @@
     A view is an induced ball, re-indexed to [0 .. k-1], with a
     distinguished centre, the node labels, and optionally the node
     identifiers. Id-oblivious algorithms receive views with
-    [ids = None]. *)
+    [ids = None].
+
+    {b Access monitoring.} The accessor functions of this module
+    ([center_id], [id], [ids], [label], [neighbours], ...) are the
+    sanctioned way for a local algorithm to read its view, and they are
+    instrumented: when a {!monitor} is installed (see
+    [Locald_analysis.Trace]) every read is reported together with the
+    accessed node, its distance from the centre, and — for identifier
+    reads — the {e provenance} of the identifier array (whether it
+    came from the run's input assignment or was synthesised locally,
+    e.g. by the simulation [A*] re-assigning ids before re-deciding).
+    Reads through the raw record fields bypass the monitor; the
+    [locald lint] rule [naked-ids-access] therefore bans [.ids] field
+    access outside [lib/graph] and [lib/analysis], making identifier
+    reads exhaustively mediated. *)
 
 type 'a t = private {
   center : int;           (** index of the view's root *)
@@ -13,6 +27,48 @@ type 'a t = private {
   labels : 'a array;      (** local inputs *)
   ids : int array option; (** identifiers, or [None] when oblivious *)
 }
+
+exception No_ids of string
+(** Raised when an identifier accessor is applied to a view that
+    carries no identifiers ([ids = None]) — i.e. an algorithm that is
+    not Id-oblivious was run in the Id-oblivious model. The payload
+    names the accessor and, when the caller supplied it (see
+    {!Locald_local.Runner}), the offending algorithm. *)
+
+(** {1 Access monitoring} *)
+
+(** One observed read of the view, as reported to the installed
+    monitor. [depth] is the node's distance from the view's centre;
+    whole-view reads (e.g. {!order}) carry [node = None] and
+    [depth = 0] and do not count towards per-node depth statistics. *)
+type access =
+  | Id_read of { node : int; depth : int; id : int; input : bool }
+      (** a single identifier was read; [input] is true when the id
+          array has input provenance (per the monitor's classifier) *)
+  | Ids_read of { input : bool }
+      (** the whole identifier array was read at once *)
+  | Label_read of { node : int; depth : int }
+  | Structure_read of { node : int option; depth : int }
+
+type monitor = {
+  input_ids : int array -> bool;
+      (** provenance classifier: does this (physical) id array carry
+          the run's input assignment? Synthetic arrays — built by
+          {!reassign_ids} callers such as the simulation [A*] — should
+          classify as [false]. *)
+  emit : access -> unit;
+}
+
+val with_monitor : monitor -> (unit -> 'r) -> 'r
+(** Install the monitor for the calling domain for the duration of the
+    thunk (exception-safe, restores any previously installed monitor).
+    Monitors are domain-local: parallel certification installs one per
+    work item and they do not interfere. *)
+
+val monitored : unit -> bool
+(** Is a monitor installed on the calling domain? *)
+
+(** {1 Construction} *)
 
 val extract : ?ids:int array -> 'a Labelled.t -> center:int -> radius:int -> 'a t
 (** [extract ?ids lg ~center ~radius] is the view of node [center] in
@@ -44,20 +100,50 @@ val of_parts :
 val strip_ids : 'a t -> 'a t
 (** Forget the identifiers: what an Id-oblivious algorithm sees. *)
 
+(** {1 Instrumented accessors} *)
+
 val order : 'a t -> int
+(** Number of nodes of the ball (a whole-view structure read). *)
 
 val center_label : 'a t -> 'a
 
 val center_id : 'a t -> int
-(** @raise Not_found if the view carries no ids. *)
+(** @raise No_ids if the view carries no ids. *)
+
+val id : 'a t -> int -> int
+(** [id view v] is the identifier of view node [v].
+    @raise No_ids if the view carries no ids.
+    @raise Invalid_argument if [v] is out of range. *)
+
+val ids : 'a t -> int array option
+(** The whole identifier array (recorded as a bulk id read when
+    present). The returned array must not be mutated. *)
+
+val has_ids : 'a t -> bool
+(** Does the view carry identifiers? Observing {e presence} reveals
+    nothing about the assignment, so no id read is recorded. *)
+
+val label : 'a t -> int -> 'a
+(** [label view v] is the input label of view node [v]. *)
+
+val neighbours : 'a t -> int -> int array
+(** [neighbours view v] are the ball-local neighbours of [v] (a
+    structure read at [v]'s depth). The array must not be mutated. *)
+
+val degree : 'a t -> int -> int
 
 val dist_from_center : 'a t -> int array
-(** Distance of each view node from the centre. *)
+(** Distance of each view node from the centre (a whole-view structure
+    read). *)
+
+(** {1 Transformations} *)
 
 val map_labels : ('a -> 'b) -> 'a t -> 'b t
 
 val reassign_ids : 'a t -> int array -> 'a t
-(** Replace the id assignment (must be injective over the view). *)
+(** Replace the id assignment (must be injective over the view). The
+    new array is whatever the caller supplies; a monitor's
+    [input_ids] classifier decides its provenance. *)
 
 val equal_repr : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
 (** Equality of concrete representations; use {!Iso.views_isomorphic}

@@ -2,7 +2,7 @@ open Locald_graph
 
 (* Replace the ids of a view by their ranks 0 .. k-1. *)
 let normalise_ranks (view : 'a View.t) =
-  match view.View.ids with
+  match View.ids view with
   | None -> view
   | Some ids ->
       let sorted = Array.copy ids in

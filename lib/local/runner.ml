@@ -7,11 +7,18 @@ let check_size lg ids =
          (Printf.sprintf "%d ids for a %d-node graph" (Ids.size ids)
             (Labelled.order lg)))
 
+(* Attribute a [View.No_ids] escape to the algorithm that raised it:
+   the accessor alone cannot know which algorithm was running. *)
+let named_decide (alg : ('a, 'o) Algorithm.t) view =
+  try alg.Algorithm.decide view
+  with View.No_ids msg ->
+    raise (View.No_ids (alg.Algorithm.name ^ ": " ^ msg))
+
 let run alg lg ~ids =
   check_size lg ids;
   let ids = Ids.to_array ids in
   Array.init (Labelled.order lg) (fun v ->
-      alg.Algorithm.decide (View.extract ~ids lg ~center:v ~radius:alg.radius))
+      named_decide alg (View.extract ~ids lg ~center:v ~radius:alg.radius))
 
 (* Pre-extracted balls for the id-quantifying deciders: the ball
    structure of node [v] does not depend on the id assignment, only the
@@ -45,7 +52,7 @@ let run_prepared prep ~ids =
   let ids = Ids.to_array ids in
   Array.map
     (fun (view, back) ->
-      prep.p_alg.Algorithm.decide
+      named_decide prep.p_alg
         (View.reassign_ids view (Array.map (fun u -> ids.(u)) back)))
     prep.p_views
 
@@ -99,7 +106,7 @@ let run_message_passing_general alg lg ~ids =
           Knowledge.reconstruct state.(v) ~center_id:id.(v)
             ~radius:alg.Algorithm.radius
         in
-        alg.Algorithm.decide view)
+        named_decide alg view)
   in
   ( outputs,
     {

@@ -18,7 +18,10 @@ val check_size : 'a Labelled.t -> Ids.t -> unit
 val run :
   ('a, 'o) Algorithm.t -> 'a Labelled.t -> ids:Ids.t -> 'o array
 (** Direct view-evaluation engine.
-    @raise Ids.Invalid_ids if the assignment has the wrong size. *)
+    @raise Ids.Invalid_ids if the assignment has the wrong size.
+    @raise View.No_ids (here and in the other engines), prefixed with
+    the algorithm's name, if the decide function applies an identifier
+    accessor to an id-free view. *)
 
 type ('a, 'o) prepared
 (** A labelled graph with every node's radius-[t] ball pre-extracted

@@ -109,7 +109,7 @@ let test_evaluate_exhaustive () =
    no). *)
 let blaming_decider =
   Algorithm.make ~name:"blame-min" ~radius:1 (fun view ->
-      let ids = match view.View.ids with Some ids -> ids | None -> [||] in
+      let ids = match View.ids view with Some ids -> ids | None -> [||] in
       let c = view.View.center in
       let violators =
         Array.to_list (Graph.neighbours view.View.graph c)

@@ -17,7 +17,7 @@ let rng () = Random.State.make [| 0xfa17 |]
 (* The same everything-sensitive algorithm the runner tests use. *)
 let fingerprint_algorithm ~radius =
   Algorithm.make ~name:"fingerprint" ~radius (fun view ->
-      let ids = match view.View.ids with Some ids -> ids | None -> [||] in
+      let ids = match View.ids view with Some ids -> ids | None -> [||] in
       let pairs =
         Array.to_list (Array.mapi (fun v id -> (id, view.View.labels.(v))) ids)
       in

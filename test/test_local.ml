@@ -75,7 +75,7 @@ let test_regimes () =
    a hash of the sorted (id, label) pairs and the edge count. *)
 let fingerprint_algorithm ~radius =
   Algorithm.make ~name:"fingerprint" ~radius (fun view ->
-      let ids = match view.View.ids with Some ids -> ids | None -> [||] in
+      let ids = match View.ids view with Some ids -> ids | None -> [||] in
       let pairs =
         Array.to_list (Array.mapi (fun v id -> (id, view.View.labels.(v))) ids)
       in
@@ -231,7 +231,7 @@ let test_order_invariant_wrapping () =
   (* Rank-based decisions are invariant under monotone re-embedding. *)
   let oi =
     Models.order_invariant ~name:"is-local-min" ~radius:1 (fun view ->
-        let ids = match view.View.ids with Some ids -> ids | None -> [||] in
+        let ids = match View.ids view with Some ids -> ids | None -> [||] in
         let c = view.View.center in
         Array.for_all (fun u -> u = c || ids.(u) > ids.(c))
           (Array.init (View.order view) Fun.id))

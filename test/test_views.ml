@@ -63,8 +63,29 @@ let test_extract_with_ids () =
   let view = View.extract ~ids:[| 30; 10; 20 |] lg ~center:1 ~radius:1 in
   check int "centre id" 10 (View.center_id view);
   let stripped = View.strip_ids view in
-  let raised = try ignore (View.center_id stripped); false with Not_found -> true in
-  check bool "stripped view has no ids" true raised
+  let raised =
+    try ignore (View.center_id stripped); false with View.No_ids _ -> true
+  in
+  check bool "stripped view has no ids" true raised;
+  let named =
+    (* Through an engine the exception names the offending algorithm:
+       a supposedly oblivious decide that sneaks an id read raises as
+       soon as the engine hands it a stripped view. *)
+    let open Locald_local in
+    let alg =
+      Algorithm.of_oblivious
+        (Algorithm.make_oblivious ~name:"wants-ids" ~radius:1 View.center_id)
+    in
+    try
+      ignore (Runner.run alg lg ~ids:(Ids.sequential 3));
+      None
+    with View.No_ids msg -> Some msg
+  in
+  match named with
+  | Some msg ->
+      check bool "message names the algorithm" true
+        (String.length msg >= 9 && String.sub msg 0 9 = "wants-ids")
+  | None -> Alcotest.fail "expected View.No_ids from an id-free prepared run"
 
 let test_extract_rejects_duplicate_ids_in_ball () =
   let lg = Labelled.const (Gen.path 3) () in
