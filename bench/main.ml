@@ -427,53 +427,182 @@ let quick_workloads =
              ~instances:[ ("G(M,1)", t.Gmr.lg) ]) );
   ]
 
+type quick_entry = {
+  qe_id : string;
+  qe_jobs : int;
+  qe_wall : float;
+  qe_n : int;
+  qe_digest : string;
+  qe_hits : int;
+  qe_misses : int;
+  qe_orbit_classes : int;  (* distinct decorated-ball classes decided *)
+}
+
+let collect_quick_entries () =
+  let job_counts = [ 1; 4 ] in
+  List.concat_map
+    (fun (id, work) ->
+      let runs =
+        List.map
+          (fun jobs ->
+            Locald_runtime.Pool.set_default_jobs jobs;
+            (* Per-row cache accounting: the counters are process-wide,
+               so reset before each run and read right after. *)
+            Locald_runtime.Memo.reset_global_stats ();
+            Locald_runtime.Orbit.reset_scanned ();
+            let (n, digest), wall = Locald_runtime.Timing.time work in
+            let ms = Locald_runtime.Memo.global_stats () in
+            Printf.printf "%-24s jobs=%d n=%-8d %8.3fs  %s\n%!" id jobs n
+              wall digest;
+            {
+              qe_id = id;
+              qe_jobs = jobs;
+              qe_wall = wall;
+              qe_n = n;
+              qe_digest = digest;
+              qe_hits = ms.Locald_runtime.Memo.hits;
+              qe_misses = ms.Locald_runtime.Memo.misses;
+              qe_orbit_classes = ms.Locald_runtime.Memo.distinct;
+            })
+          job_counts
+      in
+      (match runs with
+      | first :: rest ->
+          List.iter
+            (fun e ->
+              if e.qe_digest <> first.qe_digest then
+                Printf.printf
+                  "  WARNING: %s digest differs at jobs=%d — determinism \
+                   contract violated\n"
+                  id e.qe_jobs)
+            rest
+      | [] -> ());
+      runs)
+    quick_workloads
+
 let run_quick_bench path =
   print_endline "";
   print_endline "=================================================================";
   print_endline " PART 4: quick bench (machine-readable)";
   print_endline "=================================================================";
-  let job_counts = [ 1; 4 ] in
-  let entries =
-    List.concat_map
-      (fun (id, work) ->
-        let runs =
-          List.map
-            (fun jobs ->
-              Locald_runtime.Pool.set_default_jobs jobs;
-              let (n, digest), wall = Locald_runtime.Timing.time work in
-              Printf.printf "%-24s jobs=%d n=%-8d %8.3fs  %s\n%!" id jobs n
-                wall digest;
-              (jobs, wall, n, digest))
-            job_counts
-        in
-        (match runs with
-        | (_, _, _, d1) :: rest ->
-            List.iter
-              (fun (jobs, _, _, d) ->
-                if d <> d1 then
-                  Printf.printf
-                    "  WARNING: %s digest differs at jobs=%d — determinism \
-                     contract violated\n"
-                    id jobs)
-              rest
-        | [] -> ());
-        List.map (fun (jobs, wall, n, digest) -> (id, jobs, wall, n, digest)) runs)
-      quick_workloads
-  in
+  let entries = collect_quick_entries () in
   Locald_runtime.Pool.set_default_jobs 1;
   let oc = open_out path in
   output_string oc "{\n";
   List.iteri
-    (fun i (id, jobs, wall, n, digest) ->
+    (fun i e ->
       Printf.fprintf oc
         "  \"%s@j%d\": {\"wall_s\": %.6f, \"jobs\": %d, \"n\": %d, \
+         \"hits\": %d, \"misses\": %d, \"orbit_classes\": %d, \
          \"result_digest\": \"%s\"}%s\n"
-        id jobs wall jobs n digest
+        e.qe_id e.qe_jobs e.qe_wall e.qe_jobs e.qe_n e.qe_hits e.qe_misses
+        e.qe_orbit_classes e.qe_digest
         (if i = List.length entries - 1 then "" else ","))
     entries;
   output_string oc "}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* --check: CI smoke gate against the committed pins                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal parser for the writer's own one-entry-per-line format:
+   pulls the key, wall_s and result_digest out of each entry line. *)
+let parse_pins path =
+  let find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let quoted_at s i =
+    match String.index_from_opt s i '"' with
+    | None -> None
+    | Some a -> (
+        match String.index_from_opt s (a + 1) '"' with
+        | None -> None
+        | Some b -> Some (String.sub s (a + 1) (b - a - 1)))
+  in
+  let number_after s i =
+    let n = String.length s in
+    let i = ref i in
+    while !i < n && s.[!i] = ' ' do
+      incr i
+    done;
+    let j = ref !i in
+    while
+      !j < n && (match s.[!j] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+    do
+      incr j
+    done;
+    float_of_string (String.sub s !i (!j - !i))
+  in
+  let ic = open_in path in
+  let pins = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match find_sub line "\"result_digest\":" with
+       | None -> ()
+       | Some after_digest_key -> (
+           match
+             ( quoted_at line 0,
+               find_sub line "\"wall_s\":",
+               quoted_at line after_digest_key )
+           with
+           | Some key, Some wall_pos, Some digest ->
+               pins := (key, (number_after line wall_pos, digest)) :: !pins
+           | _ -> ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !pins
+
+let run_check path =
+  let pins = parse_pins path in
+  if pins = [] then begin
+    Printf.printf "CHECK: no pins parsed from %s\n" path;
+    exit 1
+  end;
+  print_endline "=================================================================";
+  Printf.printf " CHECK: quick bench vs pins in %s\n" path;
+  print_endline "=================================================================";
+  let entries = collect_quick_entries () in
+  Locald_runtime.Pool.set_default_jobs 1;
+  let fail = ref false in
+  List.iter
+    (fun e ->
+      let key = Printf.sprintf "%s@j%d" e.qe_id e.qe_jobs in
+      match List.assoc_opt key pins with
+      | None ->
+          Printf.printf "CHECK FAIL: %s has no pinned entry\n" key;
+          fail := true
+      | Some (pinned_wall, pinned_digest) ->
+          if e.qe_digest <> pinned_digest then begin
+            Printf.printf "CHECK FAIL: %s digest %s differs from pinned %s\n"
+              key e.qe_digest pinned_digest;
+            fail := true
+          end;
+          (* Wall-clock regression gate on the tentpole workload only —
+             micro-workloads are too noisy for a CI timing assertion. *)
+          if key = "exhaustive-decider@j1" && e.qe_wall > 2.0 *. pinned_wall
+          then begin
+            Printf.printf
+              "CHECK FAIL: %s wall %.6fs regressed more than 2x over pinned \
+               %.6fs\n"
+              key e.qe_wall pinned_wall;
+            fail := true
+          end)
+    entries;
+  if !fail then exit 1;
+  Printf.printf
+    "CHECK: %d entries match their pinned digests; exhaustive-decider@j1 \
+     within 2x\n"
+    (List.length entries)
 
 let () =
   match Array.to_list Sys.argv with
@@ -481,6 +610,9 @@ let () =
       (* Quick mode: only the machine-readable bench. *)
       let path = match rest with p :: _ -> p | [] -> "BENCH_quick.json" in
       run_quick_bench path
+  | _ :: "--check" :: rest ->
+      let path = match rest with p :: _ -> p | [] -> "BENCH_quick.json" in
+      run_check path
   | _ ->
       regenerate_paper_artefacts ();
       run_ablations ();

@@ -34,9 +34,56 @@ let jobs_opt =
 
 let apply_jobs jobs = Option.iter Pool.set_default_jobs jobs
 
+(* Decide-once memoisation knob: results are identical at any mode that
+   is sound for the decider (exact always is); only the work differs. *)
+let memo_opt =
+  let mode_conv =
+    let parse s =
+      match Memo.mode_of_string (String.lowercase_ascii (String.trim s)) with
+      | Some m -> Ok m
+      | None -> Error (`Msg "memo mode must be off | exact | order")
+    in
+    Arg.conv (parse, fun ppf m -> Fmt.string ppf (Memo.mode_to_string m))
+  in
+  Arg.(
+    value
+    & opt (some mode_conv) None
+    & info [ "memo" ] ~docv:"MODE"
+        ~doc:
+          "Decide-once memoisation: $(b,off), $(b,exact) (the safe \
+           default — keys carry the exact ball-restricted ids), or \
+           $(b,order) (order-type keys; sound only for order-invariant \
+           deciders). Defaults to $(b,LOCALD_MEMO), else exact.")
+
+let apply_memo memo = Option.iter Memo.set_default_mode memo
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the run, print decide-once cache traffic, \
+           canonicalisation statistics and the number of quotient \
+           restrictions scanned.")
+
+let print_runtime_stats () =
+  let m = Memo.global_stats () in
+  let c = Canon.global_stats () in
+  Printf.printf
+    "memo (%s): %d hits, %d misses, %d distinct keys; %d orbit \
+     restrictions scanned\n"
+    (Memo.mode_to_string (Memo.default_mode ()))
+    m.Memo.hits m.Memo.misses m.Memo.distinct (Orbit.scanned ());
+  Printf.printf
+    "canon: %d hits, %d misses, %d exact, %d fallback\n"
+    c.Canon.hits c.Canon.misses c.Canon.exact c.Canon.fallback
+
+let maybe_stats stats = if stats then print_runtime_stats ()
+
 let run_cmd name doc print driver =
-  let run quick seed jobs =
+  let run quick seed jobs memo stats =
     apply_jobs jobs;
+    apply_memo memo;
     let rows, wall = Timing.time (fun () -> driver ~quick ?seed ()) in
     print rows;
     Report.print_timings
@@ -47,9 +94,11 @@ let run_cmd name doc print driver =
           t_jobs = Pool.default_jobs ();
           t_speedup = None;
         };
-      ]
+      ];
+    maybe_stats stats
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_flag $ seed_opt $ jobs_opt)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ quick_flag $ seed_opt $ jobs_opt $ memo_opt $ stats_flag)
 
 let table1_cmd =
   run_cmd "table1" "Regenerate the Section 1.1 results table." print_table1
@@ -165,10 +214,12 @@ let faults_cmd =
 let certify_cmd =
   (* No timing output here, deliberately: CI asserts the certification
      run is byte-identical at --jobs 1 and --jobs 4. *)
-  let run _all quick jobs =
+  let run _all quick jobs memo stats =
     apply_jobs jobs;
+    apply_memo memo;
     let rows = Locald_core.Certify.run ~quick () in
     Report.print_certify rows;
+    maybe_stats stats;
     if not (Locald_core.Certify.all_ok rows) then exit 1
   in
   let all_flag =
@@ -185,7 +236,7 @@ let certify_cmd =
          "Certify the bundled deciders as Id-oblivious or Id-dependent by \
           access-trace provenance analysis; non-zero exit on any verdict \
           that contradicts a decider's declared classification.")
-    Term.(const run $ all_flag $ quick_flag $ jobs_opt)
+    Term.(const run $ all_flag $ quick_flag $ jobs_opt $ memo_opt $ stats_flag)
 
 let lint_cmd =
   let run roots =
@@ -219,7 +270,9 @@ let lint_cmd =
        ~doc:
          "Fast source-level checks: polymorphic compare/hash on graph \
           structures, naked .ids field access outside lib/graph and \
-          lib/analysis, Random.self_init. Non-zero exit on findings.")
+          lib/analysis, Random.self_init, raw polymorphic key functions \
+          on decide-once memo tables outside lib/runtime. Non-zero exit \
+          on findings.")
     Term.(const run $ roots)
 
 (* ------------------------------------------------------------------ *)
@@ -320,8 +373,9 @@ let coverage_cmd =
     Term.(const run $ arity $ r $ t $ jobs_opt)
 
 let all_cmd =
-  let run quick seed jobs speedup =
+  let run quick seed jobs memo stats speedup =
     apply_jobs jobs;
+    apply_memo memo;
     let timings = ref [] in
     let exp : 'r. string -> ('r -> unit) -> (unit -> 'r) -> unit =
      fun name print driver ->
@@ -364,7 +418,8 @@ let all_cmd =
         Experiments.hereditary ~quick ?seed ());
     exp "warmups" print_warmups (fun () -> Experiments.warmups ~quick ?seed ());
     exp "faults" print_faults (fun () -> Experiments.faults ~quick ?seed ());
-    Report.print_timings (List.rev !timings)
+    Report.print_timings (List.rev !timings);
+    maybe_stats stats
   in
   let speedup_flag =
     Arg.(
@@ -375,7 +430,9 @@ let all_cmd =
              speedup (doubles the runtime).")
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
-    Term.(const run $ quick_flag $ seed_opt $ jobs_opt $ speedup_flag)
+    Term.(
+      const run $ quick_flag $ seed_opt $ jobs_opt $ memo_opt $ stats_flag
+      $ speedup_flag)
 
 let main =
   let doc =

@@ -37,6 +37,7 @@ type report = {
   rep_views : int;
   rep_total : int;
   rep_degraded : int;
+  rep_distinct_views : int;
   rep_events : int;
   rep_max_depth : int;
   rep_flags : flag list;
@@ -62,10 +63,31 @@ let tag_no_ids name f x =
   with View.No_ids msg -> raise (View.No_ids (name ^ ": " ^ msg))
 
 let certify ?pool ?(budget = 20_000) ?(slack = 0) ?plan ?confirm ?confirm_on
-    (alg : ('a, bool) Algorithm.t) ~instances =
+    ?memo (alg : ('a, bool) Algorithm.t) ~instances =
   if budget < 1 then invalid_arg "Analysis.certify: budget must be positive";
   if slack < 0 then invalid_arg "Analysis.certify: negative slack";
   let horizon = alg.Algorithm.radius + slack in
+  (* Probe-once memo: two nodes (possibly across instances) with equal
+     decorated views — structure, labels and the concrete id decoration
+     — trace identically for a pure decide, so the probe payload is
+     keyed by the view and computed once per distinct decorated ball.
+     Only exact keys are sound here: the trace of an id-reading decide
+     can differ across decorations of the same order type, so
+     [Order_type] deliberately does not coarsen this table. Off by
+     default: within one instance every decorated ball is distinct (the
+     probe ids are the global node numbers restricted to the ball), so
+     the table only pays for itself when the instance list overlaps or
+     repeats — the caller knows, we cannot. *)
+  let table =
+    match match memo with Some m -> m | None -> Memo.Off with
+    | Memo.Off -> None
+    | Memo.Exact_ids | Memo.Order_type ->
+        Some
+          (Memo.create
+             ~hash:(View.fingerprint Memo.structural_hash)
+             ~equal:(View.equal_repr Memo.structural_equal)
+             ())
+  in
   (* Degraded nodes first: a fault plan that leaves a node [Unknown]
      removes it from the coverage — we refuse to certify what we could
      not observe. *)
@@ -110,23 +132,32 @@ let certify ?pool ?(budget = 20_000) ?(slack = 0) ?plan ?confirm ?confirm_on
   let decide = tag_no_ids alg.Algorithm.name alg.Algorithm.decide in
   let probe (iname, lg, ids_arr, v) =
     let view = View.extract ~ids:ids_arr lg ~center:v ~radius:horizon in
-    (* The extracted view owns a fresh restricted id array: that array
-       — and nothing else — carries the input assignment, so input
-       provenance is physical equality with it. Anything the algorithm
-       manufactures ([View.reassign_ids]) is a different array and
-       classifies as synthetic. *)
-    let input_arr =
-      match view.View.ids with Some a -> a | None -> assert false
+    let payload () =
+      (* The extracted view owns a fresh restricted id array: that array
+         — and nothing else — carries the input assignment, so input
+         provenance is physical equality with it. Anything the algorithm
+         manufactures ([View.reassign_ids]) is a different array and
+         classifies as synthetic. *)
+      let input_arr =
+        match view.View.ids with Some a -> a | None -> assert false
+      in
+      let input_ids a = a == input_arr in
+      let (out1, t1), (out2, t2) = Trace.run_twice ~input_ids decide view in
+      ( Trace.first_input_id_read t1,
+        t1,
+        out1 <> out2 || not (Trace.equal t1 t2) )
     in
-    let input_ids a = a == input_arr in
-    let out1, t1 = Trace.run ~input_ids decide view in
-    let out2, t2 = Trace.run ~input_ids decide view in
+    let first_input, trace, nondet =
+      match table with
+      | None -> payload ()
+      | Some tbl -> Memo.find_or_compute tbl view payload
+    in
     {
       p_instance = iname;
       p_node = v;
-      p_first_input = Trace.first_input_id_read t1;
-      p_trace = t1;
-      p_nondet = out1 <> out2 || not (Trace.equal t1 t2);
+      p_first_input = first_input;
+      p_trace = trace;
+      p_nondet = nondet;
     }
   in
   let probes = Pool.map ?pool probe items in
@@ -214,6 +245,10 @@ let certify ?pool ?(budget = 20_000) ?(slack = 0) ?plan ?confirm ?confirm_on
     rep_views = covered;
     rep_total = total;
     rep_degraded = degraded_total;
+    rep_distinct_views =
+      (match table with
+      | None -> covered
+      | Some tbl -> (Memo.stats tbl).Memo.distinct);
     rep_events =
       Array.fold_left (fun acc p -> acc + Trace.total_events p.p_trace) 0 probes;
     rep_max_depth =

@@ -69,6 +69,11 @@ type report = {
   rep_views : int;               (** views actually traced *)
   rep_total : int;               (** candidate views over all instances *)
   rep_degraded : int;            (** views excluded by the fault plan *)
+  rep_distinct_views : int;      (** distinct decorated balls actually
+                                     decided — the orbit count the
+                                     probe memo collapsed the coverage
+                                     to ([= rep_views] with the memo
+                                     off) *)
   rep_events : int;              (** total trace events over traced views *)
   rep_max_depth : int;           (** deepest per-node access over all traces *)
   rep_flags : flag list;
@@ -86,12 +91,23 @@ val certify :
   ?plan:Faults.plan ->
   ?confirm:confirm_method ->
   ?confirm_on:string * 'a Labelled.t ->
+  ?memo:Memo.mode ->
   ('a, bool) Algorithm.t ->
   instances:(string * 'a Labelled.t) list ->
   report
 (** [certify alg ~instances] traces [alg] on every node's view of every
     instance (with the sequential assignment [0 .. n-1] attached, so
     id reads are observable) and aggregates the verdict.
+
+    [memo] (default [Off]) routes probes through a probe-once table
+    keyed by the exact decorated view: equal balls are traced once and
+    the payload shared (transparent for pure decides — the verdict,
+    flags and aggregates are unchanged). Off by default because within
+    a single instance every decorated ball is distinct (probe ids are
+    global node numbers), so the table only helps when the instance
+    list overlaps or repeats. [Order_type] does not coarsen this table
+    — a trace is specific to the concrete id decoration — so any mode
+    other than [Off] behaves as exact.
 
     [budget] (default [20_000]) caps the number of traced views; hitting
     it yields {!Inconclusive}. [slack] (default [0]) extracts views at

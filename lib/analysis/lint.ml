@@ -1,4 +1,4 @@
-type rule = Poly_compare | Naked_ids_access | Self_init
+type rule = Poly_compare | Naked_ids_access | Self_init | Decorated_key
 
 type finding = {
   f_file : string;
@@ -11,6 +11,7 @@ let rule_name = function
   | Poly_compare -> "poly-compare"
   | Naked_ids_access -> "naked-ids-access"
   | Self_init -> "self-init"
+  | Decorated_key -> "decorated-key"
 
 let rule_help = function
   | Poly_compare ->
@@ -22,6 +23,11 @@ let rule_help = function
        View.ids/View.id/View.center_id"
   | Self_init ->
       "nondeterministic RNG seeding; thread an explicit Random.State instead"
+  | Decorated_key ->
+      "raw Hashtbl.hash / polymorphic equality as a decide-once memo key \
+       function outside lib/runtime; use Memo.hash_node_ids/equal_node_ids, \
+       View.fingerprint/equal_repr or a Canon key (Memo.structural_hash / \
+       structural_equal for label components)"
 
 (* The banned tokens are assembled by concatenation so that this file
    does not flag itself when the tree scan reaches lib/analysis. *)
@@ -220,10 +226,53 @@ let naked_ids_at line i =
 let naked_ids_hit line =
   any_occurrence line (".ids") 0 (fun i -> naked_ids_at line i)
 
+(* ------------------------------------------------------------------ *)
+(* Decorated-key rule                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A memo table over decorated keys constructed with the polymorphic
+   primitives as key functions: `Memo.create ~hash:Hashtbl.hash ...` or
+   `~equal:( = )`. The memo's hash contract must stay mediated by
+   lib/runtime (Memo.hash_node_ids, View.fingerprint, Canon keys);
+   passing Hashtbl.hash as a *label* hash to a mediator
+   (`~hash:(View.fingerprint Memo.structural_hash)`) has a non-Hashtbl
+   path head and does not match. *)
+let memo_create_token = "Memo." ^ "create"
+
+let skip_open line i =
+  let n = String.length line in
+  let j = ref i in
+  while !j < n && (line.[!j] = ' ' || line.[!j] = '(') do
+    incr j
+  done;
+  !j
+
+let direct_poly_hash_arg line i =
+  let j = skip_open line i in
+  match dotted_path line j with
+  | _, [ "Hashtbl"; "hash" ] | _, [ "Stdlib"; "Hashtbl"; "hash" ] -> true
+  | _ -> false
+
+let direct_poly_equal_arg line i =
+  let j = skip_open line i in
+  let n = String.length line in
+  if j < n && line.[j] = '=' then true
+  else
+    match dotted_path line j with
+    | _, [ "compare" ] | _, [ "Stdlib"; "compare" ] -> true
+    | _ -> false
+
+let decorated_key_hit line =
+  contains line memo_create_token
+  && (any_occurrence line "~hash:" 0 (fun i ->
+          direct_poly_hash_arg line (i + String.length "~hash:"))
+     || any_occurrence line "~equal:" 0 (fun i ->
+            direct_poly_equal_arg line (i + String.length "~equal:")))
+
 (* Rule matching on a line already stripped of comments and string
    contents. The allow marker is checked on the RAW line — it lives in
    a comment by design. *)
-let rules_on ~allow_ids masked =
+let rules_on ~allow_ids ~allow_decorated masked =
   let hits = ref [] in
   if contains masked self_init_token then hits := Self_init :: !hits;
   if
@@ -232,15 +281,17 @@ let rules_on ~allow_ids masked =
   then hits := Poly_compare :: !hits;
   if (not allow_ids) && naked_ids_hit masked then
     hits := Naked_ids_access :: !hits;
+  if (not allow_decorated) && decorated_key_hit masked then
+    hits := Decorated_key :: !hits;
   List.rev !hits
 
-let scan_line ~allow_ids line =
+let scan_line ?(allow_decorated = false) ~allow_ids line =
   if contains line allow_marker then []
   else
     let masked, _ = mask_code initial_state line in
-    rules_on ~allow_ids masked
+    rules_on ~allow_ids ~allow_decorated masked
 
-let scan_string ?(file = "<string>") ~allow_ids text =
+let scan_string ?(file = "<string>") ?(allow_decorated = false) ~allow_ids text =
   let findings = ref [] in
   let state = ref initial_state in
   List.iteri
@@ -253,7 +304,7 @@ let scan_string ?(file = "<string>") ~allow_ids text =
             findings :=
               { f_file = file; f_line = i + 1; f_rule = rule; f_excerpt = String.trim line }
               :: !findings)
-          (rules_on ~allow_ids masked))
+          (rules_on ~allow_ids ~allow_decorated masked))
     (String.split_on_char '\n' text);
   List.rev !findings
 
@@ -264,6 +315,10 @@ let ids_allowed_for path =
   let has sub = find_sub norm sub 0 >= 0 in
   has "lib/graph" || has "lib/analysis"
 
+let decorated_allowed_for path =
+  let norm = String.map (fun c -> if c = '\\' then '/' else c) path in
+  find_sub norm "lib/runtime" 0 >= 0
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -271,7 +326,9 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let scan_file path =
-  scan_string ~file:path ~allow_ids:(ids_allowed_for path) (read_file path)
+  scan_string ~file:path
+    ~allow_decorated:(decorated_allowed_for path)
+    ~allow_ids:(ids_allowed_for path) (read_file path)
 
 let source_file path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"

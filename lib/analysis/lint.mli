@@ -20,6 +20,13 @@
     - {!Self_init} — [Random.self_init]: nondeterministic seeding has
       no place in a repo whose outputs must be byte-identical across
       runs and job counts.
+    - {!Decorated_key} — a decide-once memo table constructed with the
+      polymorphic primitives as key functions ([Memo.create
+      ~hash:Hashtbl.hash ...], [~equal:( = )]) outside [lib/runtime].
+      The memo's hash contract on decorated keys must stay mediated —
+      [Memo.hash_node_ids]/[equal_node_ids], [View.fingerprint]/
+      [equal_repr], [Canon] keys; [Memo.structural_hash]/
+      [structural_equal] for label components.
 
     Comment text and string-literal contents are masked out before the
     rules run — a banned token in a doc comment or a help string is
@@ -27,7 +34,7 @@
     are tracked across lines. A line containing the marker
     [locald-lint: allow] is exempt from all rules. *)
 
-type rule = Poly_compare | Naked_ids_access | Self_init
+type rule = Poly_compare | Naked_ids_access | Self_init | Decorated_key
 
 type finding = {
   f_file : string;    (** as given to the scanner *)
@@ -39,14 +46,18 @@ type finding = {
 val rule_name : rule -> string
 val rule_help : rule -> string
 
-val scan_line : allow_ids:bool -> string -> rule list
+val scan_line : ?allow_decorated:bool -> allow_ids:bool -> string -> rule list
 (** Rules violated by one source line (masked as if it opened at
     top-level: no enclosing comment or string). [allow_ids] disables
     {!Naked_ids_access} (true under [lib/graph]/[lib/analysis], where
-    the representation is the module's own business). Exposed for unit
-    tests. *)
+    the representation is the module's own business);
+    [allow_decorated] (default [false]) disables {!Decorated_key}
+    (true under [lib/runtime], which owns the key functions). Exposed
+    for unit tests. *)
 
-val scan_string : ?file:string -> allow_ids:bool -> string -> finding list
+val scan_string :
+  ?file:string -> ?allow_decorated:bool -> allow_ids:bool -> string ->
+  finding list
 (** Scan a whole source text (split on newlines). *)
 
 val scan_file : string -> finding list

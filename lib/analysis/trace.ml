@@ -49,6 +49,22 @@ let run ~input_ids f v =
   let out = View.with_monitor mon (fun () -> f v) in
   (out, of_events (List.rev !acc))
 
+(* Two runs under ONE installed monitor, each with its own event
+   accumulator. Equivalent to two [run] calls, but the monitor's
+   distance memo (the per-view BFS) is shared between the runs —
+   certification's nondeterminism double-run costs one BFS, not two. *)
+let run_twice ~input_ids f v =
+  let acc1 = ref [] and acc2 = ref [] in
+  let current = ref acc1 in
+  let mon =
+    { View.input_ids; emit = (fun ev -> !current := ev :: !(!current)) }
+  in
+  View.with_monitor mon (fun () ->
+      let out1 = f v in
+      current := acc2;
+      let out2 = f v in
+      ((out1, of_events (List.rev !acc1)), (out2, of_events (List.rev !acc2))))
+
 let reads_input_ids t = t.input_id_reads > 0 || t.input_bulk_reads > 0
 
 let first_input_id_read t =

@@ -28,6 +28,13 @@ val run : input_ids:(int array -> bool) -> ('v -> 'o) -> 'v -> 'o * t
     the trace. Exceptions from [f] propagate (the monitor is
     uninstalled first). *)
 
+val run_twice :
+  input_ids:(int array -> bool) -> ('v -> 'o) -> 'v -> ('o * t) * ('o * t)
+(** [run_twice ~input_ids f v] is [run] applied twice — the
+    nondeterminism double-run of certification — under a single
+    installed monitor, so the monitor's per-view distance memo is
+    computed once. Each run gets its own event stream. *)
+
 val reads_input_ids : t -> bool
 (** Did the decision read the input assignment at all? *)
 

@@ -20,10 +20,17 @@ type evaluation = {
    deciding the whole id space. *)
 let tally_chunk = 512
 
-let tally ~expected ~instance ~n assignments_seq alg lg =
+let tally ?prep ~expected ~instance ~n assignments_seq alg lg =
   (* The ball structure is id-independent: extract every view once and
-     only re-decorate per assignment (see Runner.prepare). *)
-  let prep = Runner.prepare alg lg in
+     only re-decorate per assignment (see Runner.prepare). The decide
+     itself is memoised per (node, ball restriction) under the session's
+     memo mode — transparent for the pure deciders this module is
+     specified for. *)
+  let prep =
+    match prep with
+    | Some p -> p
+    | None -> Runner.prepare ~memo:(Memo.default_mode ()) alg lg
+  in
   let verdict_of ids = Verdict.of_outputs (Runner.run_prepared prep ~ids) in
   let correct = ref 0 and wrong = ref 0 and failure = ref None and total = ref 0 in
   let rec drain seq =
@@ -73,9 +80,82 @@ let evaluate ~rng ~regime ~assignments alg ~expected ~instance lg =
   in
   tally ~expected ~instance ~n seq alg lg
 
-let evaluate_exhaustive ~bound alg ~expected ~instance lg =
+(* Exhaustive evaluation through the ball-local quotient. By the
+   locality correspondence a node's output under an assignment depends
+   only on the restriction to its ball, so scanning each node's
+   [perm ~bound ~k:(ball size)] injective restrictions decides the
+   all-accept question over all [perm ~bound ~k:n] assignments:
+
+     every assignment accepted  <=>  every node accepts every
+                                     restriction of its ball
+
+   (left-to-right because every restriction extends to a global
+   assignment when [bound >= n] — enforced by [enumerate_injections] —
+   and right-to-left trivially). When the scan certifies all-accept,
+   the tallies follow by arithmetic and are byte-identical to the naive
+   loop's; any rejection instead falls back transparently to the naive
+   loop, whose memo table the scan has already partly warmed. *)
+let evaluate_exhaustive ?(quotient = true) ~bound alg ~expected ~instance lg =
   let n = Locald_graph.Labelled.order lg in
-  tally ~expected ~instance ~n (Ids.enumerate_injections ~n ~bound) alg lg
+  let prep = Runner.prepare ~memo:(Memo.default_mode ()) alg lg in
+  let naive () =
+    tally ~prep ~expected ~instance ~n
+      (Ids.enumerate_injections ~n ~bound)
+      alg lg
+  in
+  if (not quotient) || n = 0 then naive ()
+  else begin
+    let all_accept = ref true in
+    let v = ref 0 in
+    while !all_accept && !v < n do
+      let k = Array.length (Runner.ball_of prep !v) in
+      (* Read-adaptive scan: each distinct behaviour of the decide on
+         this ball is computed once; restrictions that agree on the id
+         slots the decide actually reads are trie lookups. *)
+      let scan = Runner.restriction_scanner prep !v in
+      let scanned = ref 0 in
+      all_accept :=
+        Orbit.for_all_injections ~bound ~k (fun r ->
+            incr scanned;
+            scan r);
+      Orbit.add_scanned !scanned;
+      incr v
+    done;
+    if not !all_accept then naive ()
+    else begin
+      let assignments = Orbit.perm ~bound ~k:n in
+      if expected then
+        {
+          instance;
+          n;
+          expected;
+          assignments;
+          correct = assignments;
+          wrong = 0;
+          failure = None;
+        }
+      else
+        (* Every assignment is wrong; the witness the naive loop would
+           report is the first enumerated assignment, re-decided
+           concretely (a memo hit) so the stored verdict is the real
+           run's. *)
+        let failure =
+          match Ids.enumerate_injections ~n ~bound () with
+          | Seq.Nil -> None
+          | Seq.Cons (first, _) ->
+              Some (first, Verdict.of_outputs (Runner.run_prepared prep ~ids:first))
+        in
+        {
+          instance;
+          n;
+          expected;
+          assignments;
+          correct = 0;
+          wrong = assignments;
+          failure;
+        }
+    end
+  end
 
 let all_correct e = e.wrong = 0 && e.assignments > 0
 

@@ -46,6 +46,7 @@ val evaluate :
 (** Random assignments drawn from the regime. *)
 
 val evaluate_exhaustive :
+  ?quotient:bool ->
   bound:int ->
   ('a, bool) Algorithm.t ->
   expected:bool ->
@@ -53,7 +54,15 @@ val evaluate_exhaustive :
   'a Labelled.t ->
   evaluation
 (** Every injective assignment into [0 .. bound-1] (small instances
-    only). *)
+    only). With [quotient] (the default) the all-accept question is
+    first decided on the ball-local assignment quotient — per node,
+    every injective restriction of its ball
+    ({!Locald_runtime.Orbit.injections}) — which is exhaustive over
+    far fewer decides; the tallies then follow by counting arithmetic.
+    Whenever any node rejects any restriction, evaluation falls back
+    transparently to the naive assignment loop (with the decide-once
+    memo already warm), so the result — counts, and the first-failure
+    witness — is byte-identical to [quotient:false] in every case. *)
 
 val all_correct : evaluation -> bool
 

@@ -31,25 +31,56 @@ let accepts_with verifier lg ~certificates =
 let accepts_proved scheme lg =
   accepts_with scheme.verifier lg ~certificates:(scheme.prover lg)
 
-let assignments candidates n =
-  (* All n-tuples over the candidate list, lazily. *)
-  let rec go k () =
+(* Exhaustive refutation through the decide-once memo. A tuple of
+   certificates reaches node [v] only through its restriction to [v]'s
+   ball, so over all |C|^n tuples node [v] sees just |C|^(ball size)
+   distinct decorated balls — keyed by (node, candidate-index
+   restriction) and decided once each. A tuple is rejected as soon as
+   one node says no, which cannot change the boolean (running the full
+   verdict computes all node outputs, but [Verdict.rejects] only asks
+   whether one is false). *)
+let refuted ~candidates verifier lg =
+  let n = Labelled.order lg in
+  let cands = Array.of_list candidates in
+  let m = Array.length cands in
+  let base =
+    Array.init n (fun v ->
+        View.extract_mapped lg ~center:v ~radius:verifier.nv_radius)
+  in
+  let memo =
+    match Locald_runtime.Memo.default_mode () with
+    | Locald_runtime.Memo.Off -> None
+    | Exact_ids | Order_type ->
+        (* Certificate indices are not identifiers: order-type
+           canonicalisation does not apply, so any memoisation is by
+           exact index restriction. *)
+        Some (Locald_runtime.Memo.create_node_ids ())
+  in
+  let node_accepts v (idx : int array) =
+    let view, back = base.(v) in
+    let key = Array.map (fun u -> idx.(u)) back in
+    let compute () =
+      verifier.nv_decide
+        (View.mapi_labels (fun i x -> (x, cands.(key.(i)))) view)
+    in
+    match memo with
+    | None -> compute ()
+    | Some tbl -> Locald_runtime.Memo.find_or_compute tbl (v, key) compute
+  in
+  let tuple_rejected idx =
+    let rec go v = v < n && ((not (node_accepts v idx)) || go (v + 1)) in
+    go 0
+  in
+  (* Candidate-index tuples, in the same order as [assignments]. *)
+  let rec index_tuples k () =
     if k = 0 then Seq.Cons ([], Seq.empty)
     else
       Seq.concat_map
-        (fun rest ->
-          List.to_seq candidates |> Seq.map (fun c -> c :: rest))
-        (go (k - 1))
+        (fun rest -> Seq.init m (fun c -> c :: rest))
+        (index_tuples (k - 1))
         ()
   in
-  go n |> Seq.map Array.of_list
-
-let refuted ~candidates verifier lg =
-  let n = Labelled.order lg in
-  Seq.for_all
-    (fun certificates ->
-      Verdict.rejects (accepts_with verifier lg ~certificates))
-    (assignments candidates n)
+  Seq.for_all (fun idx -> tuple_rejected (Array.of_list idx)) (index_tuples n)
 
 let refuted_sampled ~rng ~trials ~candidates verifier lg =
   let n = Labelled.order lg in

@@ -15,9 +15,13 @@ let success_rate e =
   if e.expected then accept_rate e else 1.0 -. accept_rate e
 
 let estimate ~rng ~runs ~oblivious alg ~ids ~expected ~instance lg =
+  (* Ball structure is run-independent: extract once, redecorate per
+     run (Randomized.run_prepared draws the same coin streams as
+     Randomized.run, so the estimate is unchanged). *)
+  let prep = Randomized.prepare alg lg in
   let accepted = ref 0 in
   for _ = 1 to runs do
-    let outputs = Randomized.run ~rng ~oblivious alg lg ~ids in
+    let outputs = Randomized.run_prepared ~rng ~oblivious prep ~ids in
     if Verdict.accepts (Verdict.of_outputs outputs) then incr accepted
   done;
   { instance; n = Labelled.order lg; expected; runs; accepted = !accepted }

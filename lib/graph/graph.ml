@@ -99,48 +99,90 @@ let iter_vertices f g =
 
 let vertices g = List.init g.n Fun.id
 
-let bfs_distances g src =
-  check_endpoint g.n src;
+(* Forward declaration of the per-domain BFS scratch defined below; the
+   full-graph BFS only borrows its queue array. *)
+
+let bfs_distances_with queue g src =
   let dist = Array.make g.n max_int in
-  let queue = Queue.create () in
   dist.(src) <- 0;
-  Queue.add src queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) + 1 in
     Array.iter
       (fun v ->
         if dist.(v) = max_int then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v queue
+          dist.(v) <- du;
+          queue.(!tail) <- v;
+          incr tail
         end)
       g.adj.(u)
   done;
   dist
 
+(* Truncated BFS: only the ball is explored, so extracting small views
+   from very large graphs (e.g. deep layered trees) stays cheap. The
+   visited set is a per-domain generation-stamped array — no clearing
+   between calls and no hashing on the hot path — so each call costs
+   O(ball edges + |ball| log |ball|) with zero table churn. *)
+type bfs_scratch = {
+  mutable stamp : int array;
+  mutable bdist : int array;
+  mutable bqueue : int array;
+  mutable gen : int;
+}
+
+let bfs_scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { stamp = [||]; bdist = [||]; bqueue = [||]; gen = 0 })
+
+let bfs_scratch n =
+  let s = Domain.DLS.get bfs_scratch_key in
+  if Array.length s.stamp < n then begin
+    s.stamp <- Array.make n 0;
+    s.bdist <- Array.make n 0;
+    s.bqueue <- Array.make n 0;
+    s.gen <- 0
+  end;
+  s.gen <- s.gen + 1;
+  s
+
+let int_compare (a : int) b = if a < b then -1 else if a > b then 1 else 0
+
+let bfs_distances g src =
+  check_endpoint g.n src;
+  bfs_distances_with (bfs_scratch g.n).bqueue g src
+
 let dist g u v = (bfs_distances g u).(v)
 
-(* Truncated BFS: only the ball is explored, so extracting small views
-   from very large graphs (e.g. deep layered trees) stays cheap. *)
 let ball g v t =
   check_endpoint g.n v;
-  let dist = Hashtbl.create 64 in
-  Hashtbl.replace dist v 0;
-  let queue = Queue.create () in
-  Queue.add v queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let du = Hashtbl.find dist u in
+  let s = bfs_scratch g.n in
+  let gen = s.gen and stamp = s.stamp and dist = s.bdist and queue = s.bqueue in
+  stamp.(v) <- gen;
+  dist.(v) <- 0;
+  queue.(0) <- v;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
     if du < t then
       Array.iter
         (fun w ->
-          if not (Hashtbl.mem dist w) then begin
-            Hashtbl.replace dist w (du + 1);
-            Queue.add w queue
+          if stamp.(w) <> gen then begin
+            stamp.(w) <- gen;
+            dist.(w) <- du + 1;
+            queue.(!tail) <- w;
+            incr tail
           end)
         g.adj.(u)
   done;
-  let members = Hashtbl.fold (fun u _ acc -> u :: acc) dist [] in
-  Array.of_list (List.sort compare members)
+  let members = Array.sub queue 0 !tail in
+  Array.sort int_compare members;
+  members
 
 let eccentricity g v =
   let d = bfs_distances g v in
@@ -180,22 +222,50 @@ let components g =
 
 let induced g vs =
   let back = Array.copy vs in
-  Array.sort compare back;
   let k = Array.length back in
+  (* The common caller passes a ball, which is already sorted: detect
+     that with one scan and skip the sort. *)
+  let presorted = ref true in
+  for i = 1 to k - 1 do
+    if back.(i - 1) >= back.(i) then presorted := false
+  done;
+  if not !presorted then Array.sort int_compare back;
   for i = 1 to k - 1 do
     if back.(i) = back.(i - 1) then invalid "induced: duplicate vertex %d" back.(i)
   done;
   Array.iter (check_endpoint g.n) back;
-  let fwd = Hashtbl.create (2 * k) in
-  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  (* Vertex-to-rank lookup through a generation-stamped per-domain map:
+     O(1) per neighbour with no hashing, no clearing between calls.
+     Because [back] is sorted and the source adjacency lists are sorted,
+     the mapped neighbour ranks come out already sorted — no per-vertex
+     sort either. *)
+  let s = bfs_scratch g.n in
+  let gen = s.gen and rstamp = s.stamp and rmap = s.bdist in
+  Array.iteri
+    (fun i v ->
+      rstamp.(v) <- gen;
+      rmap.(v) <- i)
+    back;
+  let rank u = if rstamp.(u) = gen then rmap.(u) else -1 in
   let adj =
     Array.map
       (fun v ->
-        let nbrs =
-          Array.to_list g.adj.(v)
-          |> List.filter_map (fun u -> Hashtbl.find_opt fwd u)
-        in
-        Array.of_list (List.sort compare nbrs))
+        let nbrs = g.adj.(v) in
+        let deg = Array.length nbrs in
+        let cnt = ref 0 in
+        for i = 0 to deg - 1 do
+          if rank nbrs.(i) >= 0 then incr cnt
+        done;
+        let out = Array.make !cnt 0 in
+        let j = ref 0 in
+        for i = 0 to deg - 1 do
+          let r = rank nbrs.(i) in
+          if r >= 0 then begin
+            out.(!j) <- r;
+            incr j
+          end
+        done;
+        out)
       back
   in
   let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in

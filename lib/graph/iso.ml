@@ -184,3 +184,38 @@ let view_signature hash (v : 'a View.t) =
   let final = refine_colors v.View.graph init in
   let multiset = sorted_copy final in
   Hashtbl.hash (final.(v.View.center), Array.to_list multiset, Graph.size v.View.graph)
+
+(* The order type of an injective id restriction: ids.(i) is replaced
+   by its rank in the sorted order, so [|5;1;9|] and [|7;2;8|] share
+   the order type [|1;0;2|]. Two restrictions with the same order type
+   are indistinguishable to an order-invariant algorithm (the
+   order-invariance reductions of Naor–Stockmeyer and of
+   Fraigniaud–Halldorsson–Korman). *)
+let order_type ids =
+  let n = Array.length ids in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun i j -> compare ids.(i) ids.(j)) idx;
+  let ranks = Array.make n 0 in
+  Array.iteri (fun r i -> ranks.(i) <- r) idx;
+  ranks
+
+let views_isomorphic_decorated eq (a : 'a View.t) da (b : 'a View.t) db =
+  let paired v deco = Array.mapi (fun i x -> (x, deco.(i))) v.View.labels in
+  let eq' (x, dx) (y, dy) = eq x y && (dx : int) = dy in
+  let cg, ch = joint_colors_of_labels eq' (paired a da) (paired b db) in
+  Option.is_some
+    (find_isomorphism_colored a.View.graph b.View.graph cg ch
+       (Some (a.View.center, b.View.center)))
+
+let decorated_signature hash (v : 'a View.t) deco =
+  let d = View.dist_from_center v in
+  (* Like {!view_signature}, with the per-node decoration folded into
+     the initial colours: isomorphic decorated views (an isomorphism
+     preserving labels AND decoration values) get equal signatures. *)
+  let init =
+    Array.mapi (fun i x -> Hashtbl.hash (hash x, d.(i), deco.(i))) v.View.labels
+  in
+  let final = refine_colors v.View.graph init in
+  let multiset = sorted_copy final in
+  Hashtbl.hash
+    (final.(v.View.center), Array.to_list multiset, Graph.size v.View.graph, 1)

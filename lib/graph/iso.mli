@@ -30,6 +30,25 @@ val view_signature : ('a -> int) -> 'a View.t -> int
     {!views_isomorphic}): isomorphic views get equal signatures. Used
     to bucket views; collisions are resolved by the exact test. *)
 
+val order_type : int array -> int array
+(** [order_type ids] replaces each identifier by its rank in the sorted
+    order of the (injective) array: [[|5;1;9|]] and [[|7;2;8|]] share
+    the order type [[|1;0;2|]]. Two id restrictions with equal order
+    type are indistinguishable to an {e order-invariant} algorithm —
+    the canonicalisation behind the memo's [Order_type] mode. *)
+
+val views_isomorphic_decorated :
+  ('a -> 'a -> bool) -> 'a View.t -> int array -> 'a View.t -> int array -> bool
+(** [views_isomorphic_decorated eq a da b db] is rooted isomorphism
+    that must preserve labels {e and} the per-node integer decorations
+    [da]/[db] (e.g. id order types): the exact equivalence underlying
+    decorated canonical keys. *)
+
+val decorated_signature : ('a -> int) -> 'a View.t -> int array -> int
+(** [decorated_signature hash v deco] extends {!view_signature} with a
+    per-node integer decoration folded into the refinement's initial
+    colours; invariant under {!views_isomorphic_decorated}. *)
+
 val refine_colors : Graph.t -> int array -> int array
 (** One-graph 1-WL colour refinement to a fixpoint, with canonical
     colour numbering: the output colours of isomorphic coloured graphs

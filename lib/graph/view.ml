@@ -15,13 +15,28 @@ let check_ids n = function
   | Some ids ->
       if Array.length ids <> n then
         invalid "view: %d ids for %d nodes" (Array.length ids) n;
-      let tbl = Hashtbl.create (2 * n) in
       Array.iter
-        (fun id ->
-          if id < 0 then invalid "view: negative identifier %d" id;
-          if Hashtbl.mem tbl id then invalid "view: duplicate identifier %d" id;
-          Hashtbl.replace tbl id ())
-        ids
+        (fun id -> if id < 0 then invalid "view: negative identifier %d" id)
+        ids;
+      (* Injectivity by sort + adjacent comparison: views are small and
+         this check sits on the per-assignment hot path, so avoid the
+         hashing and allocation of a table. Restrictions of monotone
+         assignments arrive already strictly increasing — detect that
+         with one scan and skip the sort (injectivity is then free). *)
+      let increasing = ref true in
+      for i = 1 to n - 1 do
+        if ids.(i - 1) >= ids.(i) then increasing := false
+      done;
+      if not !increasing then begin
+        let sorted = Array.copy ids in
+        Array.sort
+          (fun (a : int) b -> if a < b then -1 else if a > b then 1 else 0)
+          sorted;
+        for i = 1 to n - 1 do
+          if sorted.(i) = sorted.(i - 1) then
+            invalid "view: duplicate identifier %d" sorted.(i)
+        done
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Access monitoring                                                   *)
@@ -123,9 +138,15 @@ let extract_mapped ?ids lg ~center ~radius =
   let ball = Graph.ball (Labelled.graph lg) center radius in
   let sub, back = Labelled.induced lg ball in
   (* [back] is sorted, so locate the centre's new index by search. *)
-  let new_center = ref (-1) in
-  Array.iteri (fun i v -> if v = center then new_center := i) back;
-  assert (!new_center >= 0);
+  let new_center =
+    let lo = ref 0 and hi = ref (Array.length back) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if back.(mid) < center then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  assert (new_center < Array.length back && back.(new_center) = center);
   let ids = Option.map (fun ids -> Array.map (fun v -> ids.(v)) back) ids in
   (* Injectivity is validated on the restriction only: global
      injectivity is the input assignment's own invariant (enforced by
@@ -133,7 +154,7 @@ let extract_mapped ?ids lg ~center ~radius =
      quadratic. *)
   check_ids (Labelled.order sub) ids;
   ( {
-      center = !new_center;
+      center = new_center;
       radius;
       graph = Labelled.graph sub;
       labels = Labelled.labels sub;
@@ -215,9 +236,39 @@ let dist_from_center view =
 
 let map_labels f view = { view with labels = Array.map f view.labels }
 
+let mapi_labels f view =
+  { view with labels = Array.init (Array.length view.labels) (fun i -> f i view.labels.(i)) }
+
 let reassign_ids view ids =
   check_ids (Graph.order view.graph) (Some ids);
   { view with ids = Some ids }
+
+(* Structural digest of the decorated view — centre, radius, adjacency,
+   labels (through the caller's label hash) and the id decoration when
+   present. This is deliberately NOT an isomorphism invariant: it is the
+   hash side of {!equal_repr}, for memo tables keyed by concrete
+   decorated views. Reads go through the raw fields (we are the module
+   that owns them), so computing a fingerprint never registers as an
+   algorithm access. *)
+let fingerprint hash_label view =
+  let h = ref 0x9e3779b9 in
+  let mix x = h := ((!h * 131) + x) land max_int in
+  mix view.center;
+  mix view.radius;
+  let g = view.graph in
+  mix (Graph.order g);
+  for v = 0 to Graph.order g - 1 do
+    let nbrs = Graph.neighbours g v in
+    mix (Array.length nbrs);
+    Array.iter mix nbrs
+  done;
+  Array.iter (fun l -> mix (hash_label l)) view.labels;
+  (match view.ids with
+  | None -> mix 0
+  | Some ids ->
+      mix 1;
+      Array.iter mix ids);
+  !h
 
 let equal_repr eq a b =
   a.center = b.center && a.radius = b.radius

@@ -140,6 +140,11 @@ val dist_from_center : 'a t -> int array
 
 val map_labels : ('a -> 'b) -> 'a t -> 'b t
 
+val mapi_labels : (int -> 'a -> 'b) -> 'a t -> 'b t
+(** Like {!map_labels} with the view-local node index — e.g. folding a
+    per-node decoration array into the labels before canonicalising a
+    decorated view. *)
+
 val reassign_ids : 'a t -> int array -> 'a t
 (** Replace the id assignment (must be injective over the view). The
     new array is whatever the caller supplies; a monitor's
@@ -148,5 +153,15 @@ val reassign_ids : 'a t -> int array -> 'a t
 val equal_repr : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
 (** Equality of concrete representations; use {!Iso.views_isomorphic}
     for equality up to isomorphism. *)
+
+val fingerprint : ('a -> int) -> 'a t -> int
+(** [fingerprint hash_label view] is a structural digest of the {e
+    decorated} view: centre, radius, adjacency, labels (through
+    [hash_label]) and the identifier decoration when present. It is the
+    hash companion of {!equal_repr} — [equal_repr eq a b] implies equal
+    fingerprints whenever [eq x y] implies [hash_label x = hash_label y]
+    — and is what memo tables keyed by concrete decorated views should
+    hash with. It is {e not} an isomorphism invariant, and computing it
+    does not register any access with an installed monitor. *)
 
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -28,10 +28,21 @@ val find_variance_sampled :
     algorithm behaved obliviously on this instance). *)
 
 val find_variance_exhaustive :
+  ?quotient:bool ->
   bound:int ->
   ('a, 'o) Algorithm.t ->
   'a Labelled.t ->
   witness option
 (** Compare the outputs under {e every} injective assignment into
     [0 .. bound-1] against the first one. Exponential; use only on
-    small instances. *)
+    small instances.
+
+    [quotient:true] scans, per node, the injective restrictions of that
+    node's ball instead of whole assignments
+    ({!Locald_runtime.Orbit.injections}) — exhaustive over far fewer
+    decides, and it finds a witness iff the naive scan does (every
+    restriction extends to a global assignment). The reconstructed
+    witness pair is concretely re-run before being reported, but it is
+    generally a {e different} pair than the naive scan's first
+    disagreement, which is why the quotient is opt-in
+    (default [false]). *)

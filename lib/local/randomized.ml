@@ -32,6 +32,48 @@ let run ~rng ~oblivious t lg ~ids =
       t.decide node_rng view)
     (Pool.init_in_order n Fun.id)
 
+type ('a, 'o) prepared = {
+  rp_alg : ('a, 'o) t;
+  rp_views : ('a View.t * int array) array;
+      (* per node: its id-free ball and the view-local-to-global map *)
+}
+
+let prepare t lg =
+  {
+    rp_alg = t;
+    rp_views =
+      Array.init (Labelled.order lg) (fun v ->
+          View.extract_mapped lg ~center:v ~radius:t.radius);
+  }
+
+(* Identical to [run] — same seed split, same per-node streams — with
+   the ball extraction hoisted into [prepare]. Decides are NOT
+   memoisable here: the output depends on the private coin stream, not
+   only on the decorated view, so the decide-once contract does not
+   apply. *)
+let run_prepared ~rng ~oblivious prep ~ids =
+  let n = Array.length prep.rp_views in
+  let ids =
+    match ids with
+    | Some ids -> Some (Ids.to_array ids)
+    | None ->
+        if oblivious then None
+        else invalid_arg "Randomized.run: non-oblivious run needs ids"
+  in
+  let seeds = Pool.split_seeds rng n in
+  Pool.map
+    (fun v ->
+      let node_rng = Random.State.make [| seeds.(v); v |] in
+      let view, back = prep.rp_views.(v) in
+      let view =
+        match ids with
+        | Some ids when not oblivious ->
+            View.reassign_ids view (Array.map (fun u -> ids.(u)) back)
+        | _ -> view
+      in
+      prep.rp_alg.decide node_rng view)
+    (Pool.init_in_order n Fun.id)
+
 let geometric rng =
   let rec go l = if Random.State.bool rng then l else go (l + 1) in
   go 1

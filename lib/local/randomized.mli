@@ -25,6 +25,22 @@ val run :
     from [rng]. With [oblivious], views are stripped of identifiers
     ([ids] may then be [None]). *)
 
+type ('a, 'o) prepared
+(** A labelled graph with every node's ball pre-extracted (id-free),
+    mirroring {!Locald_local.Runner.prepare} for randomised
+    algorithms. *)
+
+val prepare : ('a, 'o) t -> 'a Labelled.t -> ('a, 'o) prepared
+
+val run_prepared :
+  rng:Random.State.t -> oblivious:bool -> ('a, 'o) prepared ->
+  ids:Ids.t option -> 'o array
+(** Exactly {!run} — same per-node coin streams for the same [rng] —
+    with the per-run view extraction hoisted out. Randomised decides
+    are deliberately {e not} routed through the decide-once memo: the
+    output is a function of (view, coin stream), not of the decorated
+    view alone, so memoisation would be unsound. *)
+
 val geometric : Random.State.t -> int
 (** Number of tosses until the first head (at least 1): the [l_v] of
     Corollary 1's decider. *)

@@ -30,18 +30,158 @@ type ('a, 'o) prepared = {
   p_alg : ('a, 'o) Algorithm.t;
   p_order : int;
   p_views : ('a View.t * int array) array;
+  p_mode : Locald_runtime.Memo.mode;
+  p_memo : (int * int array, 'o) Locald_runtime.Memo.t option;
 }
 
-let prepare alg lg =
+let prepare ?(memo = Locald_runtime.Memo.Off) alg lg =
   {
     p_alg = alg;
     p_order = Labelled.order lg;
     p_views =
       Array.init (Labelled.order lg) (fun v ->
           View.extract_mapped lg ~center:v ~radius:alg.Algorithm.radius);
+    p_mode = memo;
+    p_memo =
+      (match memo with
+      | Locald_runtime.Memo.Off -> None
+      | Exact_ids | Order_type -> Some (Locald_runtime.Memo.create_node_ids ()));
   }
 
 let prepared_size prep = prep.p_order
+
+let ball_of prep v = snd prep.p_views.(v)
+
+(* Decide node [v] under the ball-restricted assignment [r] (view-local
+   order: [r.(i)] decorates view node [i]). This is the memoisation
+   point: by the locality correspondence the output is a function of
+   (node, restriction), so under [Exact_ids] that pair is the key;
+   under [Order_type] the restriction is first collapsed to its rank
+   pattern — sound only for order-invariant deciders, which is why the
+   mode is opt-in at [prepare]. [r] must be fresh (the table keeps it as
+   the stored key). *)
+let decide_restricted ?(memoise = true) prep v r =
+  let view, _ = prep.p_views.(v) in
+  let compute () = named_decide prep.p_alg (View.reassign_ids view r) in
+  match prep.p_memo with
+  | Some tbl when memoise ->
+      let key_ids =
+        match prep.p_mode with
+        | Locald_runtime.Memo.Order_type -> Iso.order_type r
+        | Off | Exact_ids -> r
+      in
+      Locald_runtime.Memo.find_or_compute tbl (v, key_ids) compute
+  | Some _ | None -> compute ()
+
+(* Read-adaptive decide cache for the quotient scans.
+
+   A pure decide's control flow on a fixed ball can depend on the id
+   decoration only through the id values it actually reads — and the
+   access monitor (the obliviousness certifier's instrument) tells us
+   exactly which slots those are. So: run the decide once under a
+   recording monitor, and for every later restriction that agrees with
+   a recorded execution on all the slots that execution read, reuse its
+   output without running anything. The cache is a decision trie:
+   each internal node branches on one view-local id slot (the next slot
+   the decide read), each leaf stores an output. Agreement is checked
+   slot by slot, so adaptive reads (which id a decide looks at next
+   depending on what it saw) are handled exactly.
+
+   For deciders that read few ids — e.g. a structural verifier
+   conjoined with one centre-id comparison — this collapses a scan of
+   [perm bound k] restrictions to a handful of real decides plus a
+   trie walk per restriction.
+
+   Soundness needs decides to be pure functions of their view (the
+   same contract as the decide-once memo; an impure decide can
+   disagree with its own cached behaviour). Two defensive degradations:
+   a bulk [View.ids] read (the whole array at once) or an inconsistent
+   replay (impurity surfacing as a read-sequence mismatch) marks the
+   scanner opaque — every later restriction is decided directly. A
+   scanner is single-domain state for one sequential scan; it must not
+   be shared across domains, and it is not created while an outer
+   monitor is installed (tracing would observe the cache, not the
+   decide). *)
+type 'o trie =
+  | Leaf of 'o
+  | Branch of { slot : int; children : (int, 'o trie) Hashtbl.t }
+
+let restriction_scanner prep v =
+  let view, back = prep.p_views.(v) in
+  let k = Array.length back in
+  let plain r = named_decide prep.p_alg (View.reassign_ids view r) in
+  let root : 'o trie option ref = ref None in
+  let opaque = ref (View.monitored ()) in
+  let seen = Array.make (max k 1) false in
+  let decide_traced r =
+    let reads = ref [] in
+    Array.fill seen 0 k false;
+    let bulk = ref false in
+    let mon =
+      {
+        View.input_ids = (fun _ -> false);
+        emit =
+          (function
+          | View.Id_read { node; _ } ->
+              if node < k && not seen.(node) then begin
+                seen.(node) <- true;
+                reads := node :: !reads
+              end
+          | View.Ids_read _ -> bulk := true
+          | View.Label_read _ | View.Structure_read _ -> ());
+      }
+    in
+    let out = View.with_monitor mon (fun () -> plain r) in
+    (out, List.rev !reads, !bulk)
+  in
+  let rec build o (r : int array) = function
+    | [] -> Leaf o
+    | s :: rest ->
+        let children = Hashtbl.create 8 in
+        Hashtbl.replace children r.(s) (build o r rest);
+        Branch { slot = s; children }
+  in
+  let rec walk t (r : int array) =
+    match t with
+    | Leaf o -> Some o
+    | Branch b -> (
+        match Hashtbl.find_opt b.children r.(b.slot) with
+        | Some child -> walk child r
+        | None -> None)
+  in
+  (* Merge a freshly traced execution into the trie. By purity the new
+     execution reads the same slots as any recorded one until a read
+     value differs, so the paths coincide down to the insertion point;
+     anything else is impurity and degrades to direct decides. *)
+  let rec graft t o (r : int array) reads =
+    match (t, reads) with
+    | Leaf _, _ | Branch _, [] -> opaque := true
+    | Branch b, s :: rest ->
+        if s <> b.slot then opaque := true
+        else (
+          match Hashtbl.find_opt b.children r.(s) with
+          | Some child -> graft child o r rest
+          | None -> Hashtbl.replace b.children r.(s) (build o r rest))
+  in
+  fun r ->
+    if !opaque then plain r
+    else
+      let cached = match !root with None -> None | Some t -> walk t r in
+      match cached with
+      | Some o ->
+          Locald_runtime.Memo.note_hit ();
+          o
+      | None ->
+          Locald_runtime.Memo.note_miss ();
+          let o, reads, bulk = decide_traced r in
+          if bulk then opaque := true
+          else begin
+            Locald_runtime.Memo.note_distinct ();
+            match !root with
+            | None -> root := Some (build o r reads)
+            | Some t -> graft t o r reads
+          end;
+          o
 
 let run_prepared prep ~ids =
   if Ids.size ids <> prep.p_order then
@@ -50,10 +190,9 @@ let run_prepared prep ~ids =
          (Printf.sprintf "%d ids for a %d-node graph" (Ids.size ids)
             prep.p_order));
   let ids = Ids.to_array ids in
-  Array.map
-    (fun (view, back) ->
-      named_decide prep.p_alg
-        (View.reassign_ids view (Array.map (fun u -> ids.(u)) back)))
+  Array.mapi
+    (fun v (_, back) ->
+      decide_restricted prep v (Array.map (fun u -> ids.(u)) back))
     prep.p_views
 
 let run_oblivious ob lg =

@@ -24,6 +24,38 @@ open Locald_graph
 
 type stats = { hits : int; misses : int; exact : int; fallback : int }
 
+let no_stats = { hits = 0; misses = 0; exact = 0; fallback = 0 }
+
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    exact = a.exact + b.exact;
+    fallback = a.fallback + b.fallback;
+  }
+
+(* Process-wide counters, mirrored from every table's per-instance
+   counters: what [locald --stats] and the bench JSON report without
+   having to thread table handles out of the decision layers. *)
+let g_hits = Atomic.make 0
+let g_misses = Atomic.make 0
+let g_exact = Atomic.make 0
+let g_fallback = Atomic.make 0
+
+let global_stats () =
+  {
+    hits = Atomic.get g_hits;
+    misses = Atomic.get g_misses;
+    exact = Atomic.get g_exact;
+    fallback = Atomic.get g_fallback;
+  }
+
+let reset_global_stats () =
+  Atomic.set g_hits 0;
+  Atomic.set g_misses 0;
+  Atomic.set g_exact 0;
+  Atomic.set g_fallback 0
+
 type 'a form = {
   f_center : int;
   f_labels : 'a array;
@@ -153,9 +185,11 @@ let key t view =
     match found with
     | Some (_, k) ->
         Atomic.incr t.s_hits;
+        Atomic.incr g_hits;
         k
     | None ->
         Atomic.incr t.s_misses;
+        Atomic.incr g_misses;
         let k = compute t view in
         Mutex.lock t.lock;
         (match Hashtbl.find_opt t.memo dg with
@@ -189,9 +223,29 @@ let equivalent ?(exact_threshold = max_int) t ka kb =
     match (ka.k_form, kb.k_form) with
     | Some fa, Some fb ->
         Atomic.incr t.s_exact;
+        Atomic.incr g_exact;
         forms_equal t fa fb
     | _ ->
         Atomic.incr t.s_fallback;
+        Atomic.incr g_fallback;
         Iso.views_isomorphic t.label_equal ka.k_view kb.k_view
 
 let isomorphic t a b = equivalent t (key t a) (key t b)
+
+(* Derived canoniser over decorated views: labels paired with an int
+   decoration (the id restriction folded in via [View.mapi_labels]).
+   Keys of the derived table are iso-invariants of the *decorated* view,
+   so grouping by them quotients id-restrictions by decorated-view
+   orbit — the unit the ball-local enumeration of [Orbit] reports in. *)
+let decorated t =
+  {
+    label_hash = (fun (x, d) -> Hashtbl.hash (t.label_hash x, d));
+    label_equal = (fun (a, da) (b, db) -> da = db && t.label_equal a b);
+    use_cache = t.use_cache;
+    memo = Hashtbl.create 256;
+    lock = Mutex.create ();
+    s_hits = Atomic.make 0;
+    s_misses = Atomic.make 0;
+    s_exact = Atomic.make 0;
+    s_fallback = Atomic.make 0;
+  }

@@ -60,3 +60,21 @@ val isomorphic : 'a t -> 'a View.t -> 'a View.t -> bool
     play. *)
 
 val stats : 'a t -> stats
+
+val no_stats : stats
+val add_stats : stats -> stats -> stats
+
+val global_stats : unit -> stats
+(** Process-wide totals over every table created so far — what
+    [locald --stats] and the bench JSON surface. *)
+
+val reset_global_stats : unit -> unit
+
+val decorated : 'a t -> ('a * int) t
+(** A fresh canoniser over views whose labels carry an [int] decoration
+    (e.g. the ball-restricted id assignment folded into the labels with
+    {!Locald_graph.View.mapi_labels}). Label hash and equality are
+    derived from [t]'s, the cache toggle is inherited, and the memo
+    table is fresh. Keys of the derived canoniser are iso-invariants of
+    the {e decorated} view: grouping id-restrictions by them quotients
+    the per-node enumeration by decorated-view orbit. *)

@@ -1,0 +1,202 @@
+(* Decide-once memoisation: a sharded concurrent table for the
+   enumeration kernel.
+
+   The table maps decoration keys (a node index plus the id restriction
+   of the ball, canonicalised per the {!mode}) to decide outputs, so
+   quantifying over n! global assignments performs work proportional to
+   the number of *distinct* decorated balls actually seen. Shards are
+   selected by key hash; each shard is a mutex plus an association
+   bucket table keyed by the caller's hash (collisions resolved by the
+   caller's equality — the polymorphic primitives are never applied to
+   keys, which is also what the [decorated-key] lint rule enforces
+   outside this library).
+
+   Semantic transparency contract: [find_or_compute t k f] returns a
+   value [f ()] returned on some call with an [equal]-equal key. For
+   pure [f] (all the repo's deciders on a fixed view) the result is
+   indistinguishable from calling [f] every time — digests are
+   byte-identical with the memo on or off, at any job count. Hit/miss
+   totals may race under parallel fan-out (two domains can miss on the
+   same key); the number of distinct keys stored is deterministic. *)
+
+type mode = Off | Exact_ids | Order_type
+
+let mode_to_string = function
+  | Off -> "off"
+  | Exact_ids -> "exact"
+  | Order_type -> "order"
+
+let mode_of_string = function
+  | "off" -> Some Off
+  | "exact" | "exact-ids" -> Some Exact_ids
+  | "order" | "order-type" -> Some Order_type
+  | _ -> None
+
+(* The session default: LOCALD_MEMO, then exact-ids (the safe default —
+   order-type canonicalisation assumes order-invariance of the decider
+   and must be requested explicitly). *)
+let initial_mode () =
+  match Sys.getenv_opt "LOCALD_MEMO" with
+  | Some s -> (
+      match mode_of_string (String.trim (String.lowercase_ascii s)) with
+      | Some m -> m
+      | None -> Exact_ids)
+  | None -> Exact_ids
+
+let default = ref (initial_mode ())
+
+let default_mode () = !default
+
+let set_default_mode m = default := m
+
+type stats = { hits : int; misses : int; distinct : int }
+
+let no_stats = { hits = 0; misses = 0; distinct = 0 }
+
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    distinct = a.distinct + b.distinct;
+  }
+
+(* Process-wide counters, aggregated over every table: what
+   [locald --stats] and the bench JSON report. *)
+let g_hits = Atomic.make 0
+let g_misses = Atomic.make 0
+let g_distinct = Atomic.make 0
+
+let global_stats () =
+  {
+    hits = Atomic.get g_hits;
+    misses = Atomic.get g_misses;
+    distinct = Atomic.get g_distinct;
+  }
+
+let reset_global_stats () =
+  Atomic.set g_hits 0;
+  Atomic.set g_misses 0;
+  Atomic.set g_distinct 0
+
+(* For decide-once caches that live outside this module's tables (the
+   read-adaptive scanner in [Locald_local.Runner]) but report into the
+   same process-wide tallies. *)
+let note_hit () = Atomic.incr g_hits
+let note_miss () = Atomic.incr g_misses
+let note_distinct () = Atomic.incr g_distinct
+
+type ('k, 'v) shard = {
+  lock : Mutex.t;
+  (* hash -> (key, value) bucket; the int key is the caller's hash *)
+  table : (int, ('k * 'v) list ref) Hashtbl.t;
+}
+
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  mask : int;
+  shards : ('k, 'v) shard array;
+  s_hits : int Atomic.t;
+  s_misses : int Atomic.t;
+  s_distinct : int Atomic.t;
+}
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(shards = 16) ~hash ~equal () =
+  let count = pow2_at_least (max 1 shards) 1 in
+  {
+    hash;
+    equal;
+    mask = count - 1;
+    shards =
+      Array.init count (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create 64 });
+    s_hits = Atomic.make 0;
+    s_misses = Atomic.make 0;
+    s_distinct = Atomic.make 0;
+  }
+
+let stats t =
+  {
+    hits = Atomic.get t.s_hits;
+    misses = Atomic.get t.s_misses;
+    distinct = Atomic.get t.s_distinct;
+  }
+
+let bucket_find equal key bucket =
+  let rec go = function
+    | [] -> None
+    | (k, v) :: rest -> if equal key k then Some v else go rest
+  in
+  go bucket
+
+let find_or_compute t key compute =
+  let h = t.hash key land max_int in
+  let shard = t.shards.(h land t.mask) in
+  Mutex.lock shard.lock;
+  let found =
+    match Hashtbl.find_opt shard.table h with
+    | None -> None
+    | Some b -> bucket_find t.equal key !b
+  in
+  Mutex.unlock shard.lock;
+  match found with
+  | Some v ->
+      Atomic.incr t.s_hits;
+      Atomic.incr g_hits;
+      v
+  | None ->
+      Atomic.incr t.s_misses;
+      Atomic.incr g_misses;
+      let v = compute () in
+      Mutex.lock shard.lock;
+      (* Re-check under the lock: a sibling domain may have stored the
+         key while we were computing. Keep the first stored binding so
+         the table never holds duplicates — [distinct] counts stored
+         bindings and is therefore deterministic. *)
+      (match Hashtbl.find_opt shard.table h with
+      | Some b ->
+          if Option.is_none (bucket_find t.equal key !b) then begin
+            b := (key, v) :: !b;
+            Atomic.incr t.s_distinct;
+            Atomic.incr g_distinct
+          end
+      | None ->
+          Hashtbl.replace shard.table h (ref [ (key, v) ]);
+          Atomic.incr t.s_distinct;
+          Atomic.incr g_distinct);
+      Mutex.unlock shard.lock;
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Decoration-key helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The structural primitives, re-exported: label components of
+   decorated keys outside lib/runtime hash and compare through these
+   (mediated by View.fingerprint / View.equal_repr for the view part)
+   rather than through raw Hashtbl.hash / polymorphic compare, which
+   the decorated-key lint rule flags. *)
+let structural_hash x = Hashtbl.hash x
+let structural_equal a b = a = b
+
+(* The standard key shape for decide-once memoisation: a node index
+   plus the id restriction to its ball. *)
+
+let mix_int h x = ((h * 131) + x) land max_int
+
+let hash_node_ids (node, (ids : int array)) =
+  let h = ref (mix_int 0x2545f491 node) in
+  Array.iter (fun x -> h := mix_int !h x) ids;
+  !h
+
+let equal_node_ids (na, (a : int array)) (nb, (b : int array)) =
+  na = nb
+  && Array.length a = Array.length b
+  &&
+  let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+  go (Array.length a - 1)
+
+let create_node_ids ?shards () =
+  create ?shards ~hash:hash_node_ids ~equal:equal_node_ids ()

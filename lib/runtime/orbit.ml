@@ -1,0 +1,183 @@
+(* Ball-local assignment quotient for exhaustive enumeration.
+
+   Quantifying a decider over every injective global id assignment from
+   [{0..bound-1}] touches [perm ~bound ~k:n] assignments, but the
+   locality correspondence says node [v]'s output depends only on the
+   restriction of the assignment to its radius-[t] ball. Per node there
+   are just [perm ~bound ~k:(ball size)] distinct restrictions — and
+   when [bound >= n] every injective restriction extends to a global
+   assignment ([extend]), so scanning restrictions per node loses no
+   witnesses. This module provides the enumeration, the counting
+   arithmetic, the witness reconstruction, and the orbit-class grouping
+   (via decorated canonical keys) that the quotient paths in
+   [Locald_decision.Decider] and [Locald_local.Oblivious] build on.
+
+   Counter: [scanned] accumulates, per quotient scan, the number of
+   restriction classes actually enumerated — the denominator that bench
+   rows surface as [orbit_classes] next to wall time. *)
+
+open Locald_graph
+
+let invalid fmt = Format.kasprintf invalid_arg fmt
+
+let perm ~bound ~k =
+  if k < 0 then invalid "Orbit.perm: negative k %d" k;
+  if bound < 0 then invalid "Orbit.perm: negative bound %d" bound;
+  if k > bound then 0
+  else begin
+    let acc = ref 1 in
+    for i = bound - k + 1 to bound do
+      acc := !acc * i
+    done;
+    !acc
+  end
+
+let choose ~bound ~k =
+  if k < 0 then invalid "Orbit.choose: negative k %d" k;
+  if bound < 0 then invalid "Orbit.choose: negative bound %d" bound;
+  if k > bound then 0
+  else begin
+    let k = min k (bound - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (bound - k + i) / i
+    done;
+    !acc
+  end
+
+(* Injective k-tuples over [{0..bound-1}] in lexicographic order — the
+   same order [Ids.enumerate_injections] uses for global assignments, so
+   restriction streams and assignment streams agree on "first". *)
+let injections ~bound ~k =
+  if k < 0 then invalid "Orbit.injections: negative k %d" k;
+  if bound < 0 then invalid "Orbit.injections: negative bound %d" bound;
+  let rec go prefix len : int array Seq.t =
+    if len = k then Seq.return (Array.of_list (List.rev prefix))
+    else
+      Seq.concat_map
+        (fun c ->
+          if List.mem c prefix then Seq.empty else go (c :: prefix) (len + 1))
+        (Seq.init bound Fun.id)
+  in
+  go [] 0
+
+(* One representative per order type: the rank patterns themselves,
+   i.e. the permutations of [{0..k-1}]. Every injective restriction
+   with ranks [p] shares its order type with representative [p], and
+   each order-type class contains exactly [choose ~bound ~k] sets of
+   values, each realised once. *)
+let order_representatives ~k = injections ~bound:k ~k
+
+(* Allocation-free variant for the hot quotient scans: same tuples in
+   the same lexicographic order, but the callback receives a single
+   scratch array that is overwritten between calls (copy to retain),
+   and enumeration stops at the first [false]. A million restrictions
+   through the [Seq] version costs a list, an array and a closure chain
+   per tuple; this costs nothing per tuple. *)
+let for_all_injections ~bound ~k f =
+  if k < 0 then invalid "Orbit.for_all_injections: negative k %d" k;
+  if bound < 0 then invalid "Orbit.for_all_injections: negative bound %d" bound;
+  if k > bound then true
+  else begin
+    let r = Array.make k 0 in
+    let used = Array.make bound false in
+    let rec go i =
+      if i = k then f r
+      else begin
+        let ok = ref true in
+        let c = ref 0 in
+        while !ok && !c < bound do
+          if not used.(!c) then begin
+            used.(!c) <- true;
+            r.(i) <- !c;
+            if not (go (i + 1)) then ok := false;
+            used.(!c) <- false
+          end;
+          incr c
+        done;
+        !ok
+      end
+    in
+    go 0
+  end
+
+let extend ~n ~bound ~back r =
+  if bound < n then
+    invalid "Orbit.extend: bound %d < %d nodes (no global assignment)" bound n;
+  let k = Array.length back in
+  if Array.length r <> k then
+    invalid "Orbit.extend: restriction length %d for a %d-node ball"
+      (Array.length r) k;
+  let used = Array.make bound false in
+  let ids = Array.make n (-1) in
+  Array.iteri
+    (fun i v ->
+      let x = r.(i) in
+      if x < 0 || x >= bound then
+        invalid "Orbit.extend: id %d outside [0,%d)" x bound;
+      if used.(x) then invalid "Orbit.extend: duplicate id %d" x;
+      used.(x) <- true;
+      ids.(v) <- x)
+    back;
+  (* Remaining nodes take the smallest unused ids in ascending node
+     order: a fixed, deterministic completion (any completion yields the
+     same outputs inside the ball; determinism keeps witness digests
+     stable). *)
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if ids.(v) < 0 then begin
+      while used.(!next) do
+        incr next
+      done;
+      used.(!next) <- true;
+      ids.(v) <- !next
+    end
+  done;
+  ids
+
+(* ------------------------------------------------------------------ *)
+(* Orbit-class grouping via decorated canonical keys                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Group id-restriction decorations of one view by decorated-view orbit:
+   fold each decoration into the labels, canonicalise with the derived
+   (decorated) canoniser, and bucket by fingerprint with
+   [Canon.equivalent] resolving collisions. Intended for reporting and
+   property tests — the hot quotient scans count classes arithmetically
+   instead of canonising every restriction. *)
+let distinct_classes dc view decos =
+  let buckets : (int, ('a * int) Canon.key list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let classes = ref 0 in
+  Seq.iter
+    (fun (deco : int array) ->
+      let dv = View.mapi_labels (fun i x -> (x, deco.(i))) view in
+      let key = Canon.key dc dv in
+      let fp = Canon.fingerprint key in
+      let bucket =
+        match Hashtbl.find_opt buckets fp with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.replace buckets fp b;
+            b
+      in
+      if not (List.exists (fun k -> Canon.equivalent dc k key) !bucket) then begin
+        bucket := key :: !bucket;
+        incr classes
+      end)
+    decos;
+  !classes
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide scan accounting                                         *)
+(* ------------------------------------------------------------------ *)
+
+let g_scanned = Atomic.make 0
+
+let scanned () = Atomic.get g_scanned
+
+let add_scanned n = ignore (Atomic.fetch_and_add g_scanned n)
+
+let reset_scanned () = Atomic.set g_scanned 0

@@ -19,15 +19,35 @@ let max_jobs = 64
 
 let clamp_jobs j = if j < 1 then 1 else min j max_jobs
 
+(* Effective size for the *default* pool: requesting more domains than
+   the machine has cores oversubscribes the scheduler and made --jobs 4
+   *slower* than --jobs 1 on small boxes, so the shared pool silently
+   caps at [Domain.recommended_domain_count]. Explicit [create ~jobs] is
+   left unclamped — tests deliberately exercise more domains than
+   cores. *)
+let effective_jobs j = min (clamp_jobs j) (max 1 (Domain.recommended_domain_count ()))
+
 let env_jobs () =
   match Sys.getenv_opt "LOCALD_JOBS" with
-  | Some s -> Option.map clamp_jobs (int_of_string_opt (String.trim s))
+  | Some s -> Option.map effective_jobs (int_of_string_opt (String.trim s))
   | None -> None
 
 let recommended_jobs () =
   match env_jobs () with
   | Some j -> j
-  | None -> clamp_jobs (Domain.recommended_domain_count ())
+  | None -> effective_jobs (Domain.recommended_domain_count ())
+
+(* Fan-outs below this many items run on the exact sequential path:
+   domain wake-up and completion signalling cost more than the work.
+   Env-overridable escape hatch for machines where the break-even
+   differs. *)
+let seq_threshold =
+  match Sys.getenv_opt "LOCALD_SEQ_THRESHOLD" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some t when t >= 0 -> t
+      | _ -> 32)
+  | None -> 32
 
 type t = {
   jobs : int;
@@ -121,7 +141,7 @@ let default () =
 let default_jobs () = !default_size
 
 let set_default_jobs j =
-  let j = clamp_jobs j in
+  let j = effective_jobs j in
   Mutex.lock default_lock;
   let old = !default_pool in
   default_pool := None;
@@ -136,7 +156,8 @@ let set_default_jobs j =
 let map ?pool f xs =
   let pool = match pool with Some p -> p | None -> default () in
   let n = Array.length xs in
-  if pool.jobs = 1 || n <= 1 || Domain.DLS.get inside_worker then Array.map f xs
+  if pool.jobs = 1 || n <= 1 || n < seq_threshold || Domain.DLS.get inside_worker
+  then Array.map f xs
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in

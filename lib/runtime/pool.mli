@@ -30,20 +30,28 @@ val shutdown : t -> unit
 
     Shared, lazily created, sized by (in priority order) the last
     {!set_default_jobs} call — the CLI's [--jobs] — the [LOCALD_JOBS]
-    environment variable, and [Domain.recommended_domain_count]. *)
+    environment variable, and [Domain.recommended_domain_count].
+    However it is sized, the default pool never exceeds
+    [Domain.recommended_domain_count]: oversubscribing domains made
+    [--jobs 4] slower than [--jobs 1] on small machines, and the
+    determinism contract means capping can only change wall time. *)
 
 val default : unit -> t
 val default_jobs : unit -> int
 
 val set_default_jobs : int -> unit
-(** Resize the default pool (shutting down the previous one). *)
+(** Resize the default pool (shutting down the previous one). The size
+    is capped at [Domain.recommended_domain_count]. *)
 
 (** {1 Deterministic fan-out} *)
 
 val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 (** Ordered parallel map. If any application of [f] raises, the first
     exception (in claim order) is re-raised on the caller after the
-    fan-out drains, and the pool remains usable. *)
+    fan-out drains, and the pool remains usable. Fan-outs smaller than
+    [LOCALD_SEQ_THRESHOLD] items (default 32) take the exact sequential
+    path — below that the domain wake-up costs more than the work, and
+    by the determinism contract the results are identical. *)
 
 val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 

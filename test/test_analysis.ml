@@ -293,6 +293,28 @@ let test_lint_multiline_state () =
   check int "string spans lines" 1 (List.length fs);
   check int "finding on the real call" 3 (List.hd fs).Lint.f_line
 
+let test_lint_decorated_key () =
+  check rules "polymorphic hash on a memo key" [ Lint.Decorated_key ]
+    (scan "let t = Memo.create ~hash:Hashtbl.hash ~equal:Memo.equal_node_ids ()");
+  check rules "qualified polymorphic hash" [ Lint.Decorated_key ]
+    (scan "Memo.create ~hash:(Stdlib.Hashtbl.hash) ()");
+  check rules "structural equality on a memo key" [ Lint.Decorated_key ]
+    (scan "let t = Memo.create ~equal:( = ) ()");
+  check rules "polymorphic compare on a memo key" [ Lint.Decorated_key ]
+    (scan "Memo.create ~equal:compare ()");
+  check rules "mediated key functions" []
+    (scan
+       "Memo.create ~hash:(View.fingerprint Memo.structural_hash) \
+        ~equal:(View.equal_repr Memo.structural_equal) ()");
+  check rules "designated constructor" [] (scan "Memo.create_node_ids ()");
+  check rules "poly hash away from a memo" []
+    (scan "let h = Hashtbl.hash (name, radius) in");
+  check rules "allowed inside lib/runtime" []
+    (Lint.scan_line ~allow_decorated:true ~allow_ids:false
+       "let t = Memo.create ~hash:Hashtbl.hash ~equal:( = ) ()");
+  check rules "comment is prose" []
+    (scan "(* never Memo.create ~equal:( = ) on decorated keys *)")
+
 let test_lint_lib_self_scan () =
   (* The repo's own gate: lib/ must be lint-clean. The sources sit one
      level up from the test runner's working directory inside _build;
@@ -348,6 +370,7 @@ let () =
           Alcotest.test_case "masking" `Quick test_lint_masking;
           Alcotest.test_case "multiline state" `Quick
             test_lint_multiline_state;
+          Alcotest.test_case "decorated keys" `Quick test_lint_decorated_key;
           Alcotest.test_case "lib self-scan" `Quick test_lint_lib_self_scan;
         ] );
     ]

@@ -417,6 +417,111 @@ let test_pls_proof_size () =
   (* Three identifiers/levels below n: O(log n) bits. *)
   check bool "logarithmic certificates" true (bits <= 3 * 5)
 
+(* ------------------------------------------------------------------ *)
+(* Decide-once memoisation and the assignment quotient                 *)
+(* ------------------------------------------------------------------ *)
+
+module Memo = Locald_runtime.Memo
+
+(* A pure decide that reads identifiers value- and position-
+   sensitively, so the exact-ids memo and the quotient have real work
+   to be transparent over. *)
+let weighed_alg m =
+  Algorithm.make ~name:"weighed" ~radius:1 (fun view ->
+      let acc = ref (View.center_id view) in
+      for u = 0 to View.order view - 1 do
+        acc := !acc + ((View.label view u + 1) * View.id view u)
+      done;
+      !acc mod m = 0)
+
+let gen_labelled =
+  QCheck2.Gen.(
+    map2
+      (fun shape lseed ->
+        let k = 3 + (lseed mod 3) in
+        let g =
+          match shape with
+          | 0 -> Gen.cycle k
+          | 1 -> Gen.path k
+          | 2 -> Gen.star (k - 1)
+          | _ -> Gen.complete k
+        in
+        let st = Random.State.make [| lseed; shape |] in
+        Labelled.init g (fun _ -> Random.State.int st 3))
+      (int_bound 3) (int_bound 1000))
+
+let with_mode mode f =
+  let saved = Memo.default_mode () in
+  Memo.set_default_mode mode;
+  Fun.protect ~finally:(fun () -> Memo.set_default_mode saved) f
+
+let digest x = Digest.to_hex (Digest.string (Marshal.to_string x []))
+
+let prop_memo_transparent =
+  QCheck2.Test.make ~name:"memoised = unmemoised exhaustive evaluation"
+    ~count:25 gen_labelled (fun lg ->
+      let bound = Labelled.order lg + 1 in
+      let eval alg expected mode quotient =
+        with_mode mode (fun () ->
+            digest
+              (Decider.evaluate_exhaustive ~quotient ~bound alg ~expected
+                 ~instance:"prop" lg))
+      in
+      let transparent alg expected =
+        let reference = eval alg expected Memo.Off false in
+        List.for_all
+          (fun (mode, quotient) -> eval alg expected mode quotient = reference)
+          [ (Memo.Off, true); (Memo.Exact_ids, false); (Memo.Exact_ids, true) ]
+      in
+      (* An id-reading decide with failures (exercises the quotient's
+         naive fallback) and an all-accepting one (the pure quotient
+         fast path). *)
+      transparent (weighed_alg 3) false
+      && transparent (Algorithm.make ~name:"yes" ~radius:1 (fun _ -> true)) true)
+
+let prop_quotient_variance =
+  QCheck2.Test.make ~name:"quotient variance iff naive variance" ~count:25
+    gen_labelled (fun lg ->
+      let bound = Labelled.order lg + 1 in
+      let agree alg =
+        let naive =
+          Oblivious.find_variance_exhaustive ~quotient:false ~bound alg lg
+        in
+        let quot =
+          Oblivious.find_variance_exhaustive ~quotient:true ~bound alg lg
+        in
+        match (naive, quot) with
+        | None, None -> true
+        | Some _, Some w ->
+            (* The reconstructed witness must be a concrete,
+               independently re-checkable counterexample. *)
+            let out ids = (Runner.run alg lg ~ids).(w.Oblivious.node) in
+            out w.Oblivious.ids_a <> out w.Oblivious.ids_b
+        | _ -> false
+      in
+      agree (weighed_alg 3)
+      && agree (Algorithm.make ~name:"const" ~radius:1 (fun _ -> true)))
+
+let test_refuted_memo_transparent () =
+  let refuted_on g =
+    Nondeterministic.refuted ~candidates:[ 0; 1 ]
+      Nondeterministic.bipartite_scheme.Nondeterministic.verifier
+      (Labelled.const g ())
+  in
+  List.iter
+    (fun (name, g, expected) ->
+      let off = with_mode Memo.Off (fun () -> refuted_on g) in
+      let exact = with_mode Memo.Exact_ids (fun () -> refuted_on g) in
+      check bool (name ^ " (memo off)") expected off;
+      check bool (name ^ " (memo exact)") expected exact)
+    [ ("C5 refuted", Gen.cycle 5, true); ("C6 certified", Gen.cycle 6, false) ]
+
+let quotient_cases =
+  Alcotest.test_case "refuted transparent under memo" `Quick
+    test_refuted_memo_transparent
+  :: List.map QCheck_alcotest.to_alcotest
+       [ prop_memo_transparent; prop_quotient_variance ]
+
 let () =
   Alcotest.run "decision"
     [
@@ -445,6 +550,7 @@ let () =
           Alcotest.test_case "positive" `Quick test_hereditary_positive;
           Alcotest.test_case "negative with witness" `Quick test_hereditary_negative;
         ] );
+      ("quotient", quotient_cases);
       ( "nondeterministic",
         [
           Alcotest.test_case "bipartite completeness" `Quick

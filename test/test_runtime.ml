@@ -64,7 +64,10 @@ let test_nested_map () =
   let pool = Lazy.force pool in
   (* A map issued from inside a worker takes the sequential path
      instead of deadlocking on the shared queue. *)
-  let rows = Array.init 20 (fun i -> Array.init 50 (fun j -> i + j)) in
+  (* Above the small-fan-out sequential threshold, so the outer map
+     really runs on the workers and the inner maps exercise the
+     inside-a-worker sequential fallback. *)
+  let rows = Array.init 40 (fun i -> Array.init 50 (fun j -> i + j)) in
   let sums =
     Pool.map ~pool
       (fun row -> Array.fold_left ( + ) 0 (Pool.map ~pool (fun x -> 2 * x) row))
@@ -185,6 +188,116 @@ let prop_cache_transparent =
               = Canon.equivalent raw (Canon.key raw va) (Canon.key raw vb))
             views)
         views)
+
+(* ------------------------------------------------------------------ *)
+(* Orbit enumeration and decide-once keys                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_orbit_enumeration () =
+  let bound = 5 and k = 3 in
+  let via_orbit = List.of_seq (Orbit.injections ~bound ~k) in
+  check int "count = perm" (Orbit.perm ~bound ~k) (List.length via_orbit);
+  let via_ids =
+    Ids.enumerate_injections ~n:k ~bound |> Seq.map Ids.to_array |> List.of_seq
+  in
+  check bool "same order as Ids.enumerate_injections" true
+    (List.for_all2 ( = ) via_orbit via_ids);
+  (* The imperative scan visits the same restrictions in the same
+     order (through a reused scratch buffer). *)
+  let seen = ref [] in
+  check bool "scan completes" true
+    (Orbit.for_all_injections ~bound ~k (fun r ->
+         seen := Array.copy r :: !seen;
+         true));
+  check bool "scan = lazy enumeration" true (List.rev !seen = via_orbit);
+  let count = ref 0 in
+  check bool "scan stops on first false" false
+    (Orbit.for_all_injections ~bound ~k (fun _ ->
+         incr count;
+         !count < 3));
+  check int "stopped early" 3 !count;
+  check bool "vacuous when k > bound" true
+    (Orbit.for_all_injections ~bound:2 ~k:3 (fun _ -> false))
+
+let test_orbit_extend () =
+  let n = 5 and bound = 7 in
+  let back = [| 1; 3; 4 |] in
+  let r = [| 6; 0; 2 |] in
+  let ids = Orbit.extend ~n ~bound ~back r in
+  check int "length" n (Array.length ids);
+  Array.iteri
+    (fun i b -> check int "restriction preserved" r.(i) ids.(b))
+    back;
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun x ->
+      check bool "id in range" true (x >= 0 && x < bound);
+      check bool "id fresh" false (Hashtbl.mem seen x);
+      Hashtbl.replace seen x ())
+    ids
+
+(* An id-reading pure decide for the scanner and key properties:
+   value- and position-sensitive, so only exact keys are sound. *)
+let parity_alg m =
+  Algorithm.make ~name:"parity" ~radius:1 (fun view ->
+      let acc = ref (View.center_id view) in
+      for u = 0 to View.order view - 1 do
+        acc := !acc + ((View.label view u + 1) * (View.id view u + 1))
+      done;
+      !acc mod m = 0)
+
+let prop_scanner_agrees =
+  QCheck2.Test.make ~name:"restriction scanner = direct decide" ~count:40
+    arbitrary_labelled (fun (lg, _seed) ->
+      let alg = parity_alg 3 in
+      let prep = Runner.prepare alg lg in
+      let n = Labelled.order lg in
+      (* Scan the smallest ball: perm (k+2) k grows factorially, and the
+         agreement being tested is per-node, not per-graph. *)
+      let v = ref 0 in
+      for u = 1 to n - 1 do
+        if
+          Array.length (Runner.ball_of prep u)
+          < Array.length (Runner.ball_of prep !v)
+        then v := u
+      done;
+      let v = !v in
+      let k = Array.length (Runner.ball_of prep v) in
+      let scan = Runner.restriction_scanner prep v in
+      let bound = k + 2 in
+      QCheck2.assume (Orbit.perm ~bound ~k <= 20_000);
+      Orbit.for_all_injections ~bound ~k (fun r ->
+          scan r
+          = Runner.decide_restricted ~memoise:false prep v (Array.copy r)))
+
+let prop_decorated_key_hash =
+  QCheck2.Test.make ~name:"decorated keys: equal => hash-equal" ~count:200
+    QCheck2.Gen.(pair (int_bound 50) (list_size (int_bound 8) (int_bound 100)))
+    (fun (node, ids) ->
+      let a = (node, Array.of_list ids) in
+      let b = (node, Array.of_list ids) in
+      Memo.equal_node_ids a b && Memo.hash_node_ids a = Memo.hash_node_ids b)
+
+let prop_decorated_view_keys =
+  QCheck2.Test.make
+    ~name:"decorated views: equal_repr => equal fingerprints and keys"
+    ~count:40 arbitrary_labelled (fun (lg, seed) ->
+      let rng = Random.State.make [| seed + 11 |] in
+      let n = Labelled.order lg in
+      let v = Random.State.int rng n in
+      let view, back = View.extract_mapped lg ~center:v ~radius:1 in
+      let k = Array.length back in
+      let r = Array.init k (fun _ -> Random.State.int rng 10) in
+      let decorate view = View.mapi_labels (fun i x -> (x, r.(i))) view in
+      let da = decorate view and db = decorate view in
+      let eq (xa, ia) (xb, ib) = xa = xb && ia = ib in
+      let lh (x, i) = Hashtbl.hash (x, i) in
+      View.equal_repr eq da db
+      && View.fingerprint lh da = View.fingerprint lh db
+      &&
+      let dc = Canon.decorated (Canon.create ~equal:( = ) ()) in
+      let ka = Canon.key dc da and kb = Canon.key dc db in
+      Canon.fingerprint ka = Canon.fingerprint kb && Canon.equivalent dc ka kb)
 
 let test_canon_memo_hits () =
   let canon = Canon.create ~equal:( = ) () in
@@ -326,6 +439,12 @@ let qcheck_cases =
       prop_cache_transparent;
     ]
 
+let orbit_cases =
+  Alcotest.test_case "injection enumeration" `Quick test_orbit_enumeration
+  :: Alcotest.test_case "witness extension" `Quick test_orbit_extend
+  :: List.map QCheck_alcotest.to_alcotest
+       [ prop_scanner_agrees; prop_decorated_key_hash; prop_decorated_view_keys ]
+
 let () =
   Alcotest.run "runtime"
     [
@@ -343,6 +462,7 @@ let () =
       ( "canon",
         Alcotest.test_case "memo hits" `Quick test_canon_memo_hits
         :: qcheck_cases );
+      ("orbit", orbit_cases);
       ( "hoist",
         [
           Alcotest.test_case "prepared runner extracts no views per assignment"
