@@ -254,10 +254,8 @@ let run_benchmarks () =
 (* Part 3: ablations                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* Monotonic: ablation timings must not jump with NTP/calendar steps. *)
+let timed f = Locald_runtime.Timing.time f
 
 let ablation_fragment_cap () =
   print_endline "";
@@ -446,12 +444,12 @@ let collect_quick_entries () =
         List.map
           (fun jobs ->
             Locald_runtime.Pool.set_default_jobs jobs;
-            (* Per-row cache accounting: the counters are process-wide,
-               so reset before each run and read right after. *)
-            Locald_runtime.Memo.reset_global_stats ();
-            Locald_runtime.Orbit.reset_scanned ();
+            (* Per-row cache accounting: a fresh telemetry run scopes
+               every counter to this workload, so back-to-back rows
+               report independent (not cumulative) counts. *)
+            Locald_runtime.Telemetry.new_run ();
             let (n, digest), wall = Locald_runtime.Timing.time work in
-            let ms = Locald_runtime.Memo.global_stats () in
+            let ms = Locald_runtime.Memo.run_stats () in
             Printf.printf "%-24s jobs=%d n=%-8d %8.3fs  %s\n%!" id jobs n
               wall digest;
             {
@@ -487,16 +485,31 @@ let run_quick_bench path =
   print_endline "=================================================================";
   let entries = collect_quick_entries () in
   Locald_runtime.Pool.set_default_jobs 1;
+  (* One entry per line (the layout [parse_pins] reads back), each line
+     emitted through the telemetry JSON module so hostile workload ids
+     — quotes, backslashes — stay valid JSON. Wall times are rounded to
+     the microsecond the old %.6f writer printed at. *)
+  let entry_json e =
+    Locald_runtime.Telemetry.Json.(
+      Obj
+        [
+          ("wall_s", Float (Float.round (e.qe_wall *. 1e6) /. 1e6));
+          ("jobs", Int e.qe_jobs);
+          ("n", Int e.qe_n);
+          ("hits", Int e.qe_hits);
+          ("misses", Int e.qe_misses);
+          ("orbit_classes", Int e.qe_orbit_classes);
+          ("result_digest", String e.qe_digest);
+        ])
+  in
   let oc = open_out path in
   output_string oc "{\n";
   List.iteri
     (fun i e ->
-      Printf.fprintf oc
-        "  \"%s@j%d\": {\"wall_s\": %.6f, \"jobs\": %d, \"n\": %d, \
-         \"hits\": %d, \"misses\": %d, \"orbit_classes\": %d, \
-         \"result_digest\": \"%s\"}%s\n"
-        e.qe_id e.qe_jobs e.qe_wall e.qe_jobs e.qe_n e.qe_hits e.qe_misses
-        e.qe_orbit_classes e.qe_digest
+      Printf.fprintf oc "  %s: %s%s\n"
+        (Locald_runtime.Telemetry.Json.escape_string
+           (Printf.sprintf "%s@j%d" e.qe_id e.qe_jobs))
+        (Locald_runtime.Telemetry.Json.to_string (entry_json e))
         (if i = List.length entries - 1 then "" else ","))
     entries;
   output_string oc "}\n";

@@ -66,9 +66,24 @@ let stats_flag =
            canonicalisation statistics and the number of quotient \
            restrictions scanned.")
 
+(* Tracing knob: a JSONL sink recording spans, events and injected
+   faults. Observation only — results and digests are identical with or
+   without it (property-tested). *)
+let trace_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL event trace (spans, runtime events, injected \
+           faults) to $(docv). Purely observational: results are \
+           byte-identical with tracing on or off.")
+
+let apply_trace trace = Option.iter Telemetry.open_sink trace
+
 let print_runtime_stats () =
-  let m = Memo.global_stats () in
-  let c = Canon.global_stats () in
+  let m = Memo.run_stats () in
+  let c = Canon.run_stats () in
   Printf.printf
     "memo (%s): %d hits, %d misses, %d distinct keys; %d orbit \
      restrictions scanned\n"
@@ -81,9 +96,10 @@ let print_runtime_stats () =
 let maybe_stats stats = if stats then print_runtime_stats ()
 
 let run_cmd name doc print driver =
-  let run quick seed jobs memo stats =
+  let run quick seed jobs memo stats trace =
     apply_jobs jobs;
     apply_memo memo;
+    apply_trace trace;
     let rows, wall = Timing.time (fun () -> driver ~quick ?seed ()) in
     print rows;
     Report.print_timings
@@ -98,7 +114,9 @@ let run_cmd name doc print driver =
     maybe_stats stats
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ quick_flag $ seed_opt $ jobs_opt $ memo_opt $ stats_flag)
+    Term.(
+      const run $ quick_flag $ seed_opt $ jobs_opt $ memo_opt $ stats_flag
+      $ trace_opt)
 
 let table1_cmd =
   run_cmd "table1" "Regenerate the Section 1.1 results table." print_table1
@@ -152,8 +170,9 @@ let warmups_cmd =
     (fun ~quick ?seed () -> Experiments.warmups ~quick ?seed ())
 
 let faults_cmd =
-  let run quick seed jobs drop crashes fuel retries runs =
+  let run quick seed jobs trace drop crashes fuel retries runs =
     apply_jobs jobs;
+    apply_trace trace;
     (* Plan validation raises Invalid_argument; turn it into a usage
        error instead of an "internal error" backtrace. *)
     match
@@ -204,8 +223,8 @@ let faults_cmd =
          "Measure decider accuracy and degradation under seeded fault \
           injection (message drops, crash-stop failures, fuel budgets).")
     Term.(
-      const run $ quick_flag $ seed_opt $ jobs_opt $ drop $ crashes $ fuel
-      $ retries $ runs)
+      const run $ quick_flag $ seed_opt $ jobs_opt $ trace_opt $ drop $ crashes
+      $ fuel $ retries $ runs)
 
 (* ------------------------------------------------------------------ *)
 (* Certification and lint                                              *)
@@ -214,9 +233,10 @@ let faults_cmd =
 let certify_cmd =
   (* No timing output here, deliberately: CI asserts the certification
      run is byte-identical at --jobs 1 and --jobs 4. *)
-  let run _all quick jobs memo stats =
+  let run _all quick jobs memo stats trace =
     apply_jobs jobs;
     apply_memo memo;
+    apply_trace trace;
     let rows = Locald_core.Certify.run ~quick () in
     Report.print_certify rows;
     maybe_stats stats;
@@ -236,7 +256,9 @@ let certify_cmd =
          "Certify the bundled deciders as Id-oblivious or Id-dependent by \
           access-trace provenance analysis; non-zero exit on any verdict \
           that contradicts a decider's declared classification.")
-    Term.(const run $ all_flag $ quick_flag $ jobs_opt $ memo_opt $ stats_flag)
+    Term.(
+      const run $ all_flag $ quick_flag $ jobs_opt $ memo_opt $ stats_flag
+      $ trace_opt)
 
 let lint_cmd =
   let run roots =
@@ -373,9 +395,10 @@ let coverage_cmd =
     Term.(const run $ arity $ r $ t $ jobs_opt)
 
 let all_cmd =
-  let run quick seed jobs memo stats speedup =
+  let run quick seed jobs memo stats trace speedup =
     apply_jobs jobs;
     apply_memo memo;
+    apply_trace trace;
     let timings = ref [] in
     let exp : 'r. string -> ('r -> unit) -> (unit -> 'r) -> unit =
      fun name print driver ->
@@ -432,7 +455,64 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
     Term.(
       const run $ quick_flag $ seed_opt $ jobs_opt $ memo_opt $ stats_flag
-      $ speedup_flag)
+      $ trace_opt $ speedup_flag)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let experiments : (string * (quick:bool -> seed:int option -> unit)) list =
+    [
+      ( "table1",
+        fun ~quick ~seed -> print_table1 (Experiments.table1 ~quick ?seed ()) );
+      ("fig1", fun ~quick ~seed:_ -> print_fig1 (Experiments.fig1 ~quick ()));
+      ( "corollary1",
+        fun ~quick ~seed ->
+          print_corollary1 (Experiments.corollary1 ~quick ?seed ()) );
+      ( "certify",
+        fun ~quick ~seed:_ ->
+          Report.print_certify (Locald_core.Certify.run ~quick ()) );
+      ( "faults",
+        fun ~quick ~seed -> print_faults (Experiments.faults ~quick ?seed ()) );
+    ]
+  in
+  let run name quick seed jobs memo trace =
+    match List.assoc_opt name experiments with
+    | None ->
+        prerr_endline
+          ("locald metrics: unknown experiment " ^ name ^ " (try: "
+          ^ String.concat " | " (List.map fst experiments)
+          ^ ")");
+        exit 2
+    | Some driver ->
+        apply_jobs jobs;
+        apply_memo memo;
+        apply_trace trace;
+        Telemetry.set_metrics true;
+        Telemetry.new_run ();
+        driver ~quick ~seed;
+        print_endline "";
+        print_endline "runtime metrics (this run):";
+        Format.printf "%a@." Telemetry.pp_metrics ()
+  in
+  let experiment_arg =
+    Arg.(
+      value & pos 0 string "table1"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Experiment to run under metric collection: table1 | fig1 | \
+             corollary1 | certify | faults (default table1).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one experiment with gauge and span-histogram collection \
+          enabled and print the run's metrics (counters, gauges, span \
+          timings). Combine with $(b,--trace) for the full event log.")
+    Term.(
+      const run $ experiment_arg $ quick_flag $ seed_opt $ jobs_opt $ memo_opt
+      $ trace_opt)
 
 let main =
   let doc =
@@ -444,7 +524,8 @@ let main =
     [
       table1_cmd; fig1_cmd; fig2_cmd; fig3_cmd; corollary1_cmd; p3_cmd;
       diagonal_cmd; oi_cmd; hereditary_cmd; construction_cmd; warmups_cmd;
-      faults_cmd; certify_cmd; lint_cmd; gmr_cmd; coverage_cmd; all_cmd;
+      faults_cmd; certify_cmd; lint_cmd; gmr_cmd; coverage_cmd; metrics_cmd;
+      all_cmd;
     ]
 
 let () = exit (Cmd.eval main)

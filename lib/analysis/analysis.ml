@@ -62,10 +62,16 @@ let tag_no_ids name f x =
   try f x
   with View.No_ids msg -> raise (View.No_ids (name ^ ": " ^ msg))
 
+(* Views actually traced (post-budget, post-fault-degradation) and
+   provenance flags raised — the certifier's cost and signal volumes. *)
+let c_probes = Telemetry.Counter.make "certify.probes"
+let c_flags = Telemetry.Counter.make "certify.flags"
+
 let certify ?pool ?(budget = 20_000) ?(slack = 0) ?plan ?confirm ?confirm_on
     ?memo (alg : ('a, bool) Algorithm.t) ~instances =
   if budget < 1 then invalid_arg "Analysis.certify: budget must be positive";
   if slack < 0 then invalid_arg "Analysis.certify: negative slack";
+  Telemetry.span "analysis.certify" @@ fun () ->
   let horizon = alg.Algorithm.radius + slack in
   (* Probe-once memo: two nodes (possibly across instances) with equal
      decorated views — structure, labels and the concrete id decoration
@@ -131,6 +137,7 @@ let certify ?pool ?(budget = 20_000) ?(slack = 0) ?plan ?confirm ?confirm_on
   let items = Array.of_list (List.rev !items) in
   let decide = tag_no_ids alg.Algorithm.name alg.Algorithm.decide in
   let probe (iname, lg, ids_arr, v) =
+    Telemetry.Counter.incr c_probes;
     let view = View.extract ~ids:ids_arr lg ~center:v ~radius:horizon in
     let payload () =
       (* The extracted view owns a fresh restricted id array: that array
@@ -180,6 +187,7 @@ let certify ?pool ?(budget = 20_000) ?(slack = 0) ?plan ?confirm ?confirm_on
           Nondeterminism { nd_instance = p.p_instance; nd_node = p.p_node }
           :: !flags)
     probes;
+  Telemetry.Counter.add c_flags (List.length !flags);
   let first_reader =
     Array.fold_left
       (fun acc p ->

@@ -31,6 +31,7 @@ let tally ?prep ~expected ~instance ~n assignments_seq alg lg =
     | Some p -> p
     | None -> Runner.prepare ~memo:(Memo.default_mode ()) alg lg
   in
+  Telemetry.span "decider.tally" @@ fun () ->
   let verdict_of ids = Verdict.of_outputs (Runner.run_prepared prep ~ids) in
   let correct = ref 0 and wrong = ref 0 and failure = ref None and total = ref 0 in
   let rec drain seq =
@@ -74,6 +75,7 @@ let tally ?prep ~expected ~instance ~n assignments_seq alg lg =
   }
 
 let evaluate ~rng ~regime ~assignments alg ~expected ~instance lg =
+  Telemetry.span "decider.evaluate" @@ fun () ->
   let n = Locald_graph.Labelled.order lg in
   let seq =
     Seq.init assignments (fun _ -> Ids.sample rng regime ~n)
@@ -96,6 +98,7 @@ let evaluate ~rng ~regime ~assignments alg ~expected ~instance lg =
    loop's; any rejection instead falls back transparently to the naive
    loop, whose memo table the scan has already partly warmed. *)
 let evaluate_exhaustive ?(quotient = true) ~bound alg ~expected ~instance lg =
+  Telemetry.span "decider.evaluate_exhaustive" @@ fun () ->
   let n = Locald_graph.Labelled.order lg in
   let prep = Runner.prepare ~memo:(Memo.default_mode ()) alg lg in
   let naive () =

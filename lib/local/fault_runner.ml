@@ -45,6 +45,8 @@ let default_cost view = View.order view
 let run ~plan ?(cost = default_cost) alg lg ~ids =
   ignore (Faults.validate plan);
   Runner.check_size lg ids;
+  let module Tel = Locald_runtime.Telemetry in
+  Tel.span "faults.run" @@ fun () ->
   let g = Labelled.graph lg in
   let n = Graph.order g in
   let id = Ids.to_array ids in
@@ -73,11 +75,22 @@ let run ~plan ?(cost = default_cost) alg lg ~ids =
           (fun u ->
             if alive u then begin
               incr messages;
-              if Faults.drops plan ~round ~src:u ~dst:v then incr dropped
+              if Faults.drops plan ~round ~src:u ~dst:v then begin
+                incr dropped;
+                (* One trace record per injected fault: which link, when. *)
+                if Tel.active () then
+                  Tel.event "fault.drop"
+                    Tel.Json.
+                      [ ("round", Int round); ("src", Int u); ("dst", Int v) ]
+              end
               else begin
                 let copies =
                   if Faults.duplicates plan ~round ~src:u ~dst:v then begin
                     incr duplicated;
+                    if Tel.active () then
+                      Tel.event "fault.duplicate"
+                        Tel.Json.
+                          [ ("round", Int round); ("src", Int u); ("dst", Int v) ];
                     2
                   end
                   else 1
@@ -100,6 +113,8 @@ let run ~plan ?(cost = default_cost) alg lg ~ids =
         match crash_at.(v) with
         | Some r when r <= rounds ->
             incr crashed;
+            if Tel.active () then
+              Tel.event "fault.crash" Tel.Json.[ ("node", Int v); ("round", Int r) ];
             Unknown Crashed
         | Some _ | None ->
             if

@@ -34,7 +34,12 @@ type ('a, 'o) prepared = {
   p_memo : (int * int array, 'o) Locald_runtime.Memo.t option;
 }
 
+(* Each call is one ball-restricted decide — the unit both the naive
+   tally and the quotient scans are billed in. *)
+let c_decides = Locald_runtime.Telemetry.Counter.make "runner.decides"
+
 let prepare ?(memo = Locald_runtime.Memo.Off) alg lg =
+  Locald_runtime.Telemetry.span "runner.prepare" @@ fun () ->
   {
     p_alg = alg;
     p_order = Labelled.order lg;
@@ -61,6 +66,7 @@ let ball_of prep v = snd prep.p_views.(v)
    mode is opt-in at [prepare]. [r] must be fresh (the table keeps it as
    the stored key). *)
 let decide_restricted ?(memoise = true) prep v r =
+  Locald_runtime.Telemetry.Counter.incr c_decides;
   let view, _ = prep.p_views.(v) in
   let compute () = named_decide prep.p_alg (View.reassign_ids view r) in
   match prep.p_memo with
@@ -164,6 +170,7 @@ let restriction_scanner prep v =
           | None -> Hashtbl.replace b.children r.(s) (build o r rest))
   in
   fun r ->
+    Locald_runtime.Telemetry.Counter.incr c_decides;
     if !opaque then plain r
     else
       let cached = match !root with None -> None | Some t -> walk t r in
@@ -190,6 +197,7 @@ let run_prepared prep ~ids =
          (Printf.sprintf "%d ids for a %d-node graph" (Ids.size ids)
             prep.p_order));
   let ids = Ids.to_array ids in
+  Locald_runtime.Telemetry.span "runner.run_prepared" @@ fun () ->
   Array.mapi
     (fun v (_, back) ->
       decide_restricted prep v (Array.map (fun u -> ids.(u)) back))

@@ -34,27 +34,23 @@ let add_stats a b =
     fallback = a.fallback + b.fallback;
   }
 
-(* Process-wide counters, mirrored from every table's per-instance
+(* Run-scoped counters, mirrored from every table's per-instance
    counters: what [locald --stats] and the bench JSON report without
-   having to thread table handles out of the decision layers. *)
-let g_hits = Atomic.make 0
-let g_misses = Atomic.make 0
-let g_exact = Atomic.make 0
-let g_fallback = Atomic.make 0
+   having to thread table handles out of the decision layers. They live
+   in the ambient telemetry run, so [Telemetry.new_run] restarts the
+   tally. *)
+let g_hits = Telemetry.Counter.make "canon.hits"
+let g_misses = Telemetry.Counter.make "canon.misses"
+let g_exact = Telemetry.Counter.make "canon.exact"
+let g_fallback = Telemetry.Counter.make "canon.fallback"
 
-let global_stats () =
+let run_stats () =
   {
-    hits = Atomic.get g_hits;
-    misses = Atomic.get g_misses;
-    exact = Atomic.get g_exact;
-    fallback = Atomic.get g_fallback;
+    hits = Telemetry.Counter.get g_hits;
+    misses = Telemetry.Counter.get g_misses;
+    exact = Telemetry.Counter.get g_exact;
+    fallback = Telemetry.Counter.get g_fallback;
   }
-
-let reset_global_stats () =
-  Atomic.set g_hits 0;
-  Atomic.set g_misses 0;
-  Atomic.set g_exact 0;
-  Atomic.set g_fallback 0
 
 type 'a form = {
   f_center : int;
@@ -185,11 +181,11 @@ let key t view =
     match found with
     | Some (_, k) ->
         Atomic.incr t.s_hits;
-        Atomic.incr g_hits;
+        Telemetry.Counter.incr g_hits;
         k
     | None ->
         Atomic.incr t.s_misses;
-        Atomic.incr g_misses;
+        Telemetry.Counter.incr g_misses;
         let k = compute t view in
         Mutex.lock t.lock;
         (match Hashtbl.find_opt t.memo dg with
@@ -223,11 +219,11 @@ let equivalent ?(exact_threshold = max_int) t ka kb =
     match (ka.k_form, kb.k_form) with
     | Some fa, Some fb ->
         Atomic.incr t.s_exact;
-        Atomic.incr g_exact;
+        Telemetry.Counter.incr g_exact;
         forms_equal t fa fb
     | _ ->
         Atomic.incr t.s_fallback;
-        Atomic.incr g_fallback;
+        Telemetry.Counter.incr g_fallback;
         Iso.views_isomorphic t.label_equal ka.k_view kb.k_view
 
 let isomorphic t a b = equivalent t (key t a) (key t b)

@@ -64,11 +64,10 @@ val stats : 'a t -> stats
 val no_stats : stats
 val add_stats : stats -> stats -> stats
 
-val global_stats : unit -> stats
-(** Process-wide totals over every table created so far — what
-    [locald --stats] and the bench JSON surface. *)
-
-val reset_global_stats : unit -> unit
+val run_stats : unit -> stats
+(** Totals over every table, scoped to the ambient telemetry run
+    (counters [canon.*]) — what [locald --stats] and the bench JSON
+    surface. [Telemetry.new_run] restarts the tally. *)
 
 val decorated : 'a t -> ('a * int) t
 (** A fresh canoniser over views whose labels carry an [int] decoration

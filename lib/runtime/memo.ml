@@ -60,30 +60,27 @@ let add_stats a b =
     distinct = a.distinct + b.distinct;
   }
 
-(* Process-wide counters, aggregated over every table: what
-   [locald --stats] and the bench JSON report. *)
-let g_hits = Atomic.make 0
-let g_misses = Atomic.make 0
-let g_distinct = Atomic.make 0
+(* Run-scoped counters, aggregated over every table: what
+   [locald --stats] and the bench JSON report. They live in the ambient
+   telemetry run, so [Telemetry.new_run] gives each bench workload an
+   independent tally instead of a cumulative one. *)
+let c_hits = Telemetry.Counter.make "memo.hits"
+let c_misses = Telemetry.Counter.make "memo.misses"
+let c_distinct = Telemetry.Counter.make "memo.distinct"
 
-let global_stats () =
+let run_stats () =
   {
-    hits = Atomic.get g_hits;
-    misses = Atomic.get g_misses;
-    distinct = Atomic.get g_distinct;
+    hits = Telemetry.Counter.get c_hits;
+    misses = Telemetry.Counter.get c_misses;
+    distinct = Telemetry.Counter.get c_distinct;
   }
-
-let reset_global_stats () =
-  Atomic.set g_hits 0;
-  Atomic.set g_misses 0;
-  Atomic.set g_distinct 0
 
 (* For decide-once caches that live outside this module's tables (the
    read-adaptive scanner in [Locald_local.Runner]) but report into the
-   same process-wide tallies. *)
-let note_hit () = Atomic.incr g_hits
-let note_miss () = Atomic.incr g_misses
-let note_distinct () = Atomic.incr g_distinct
+   same run-scoped tallies. *)
+let note_hit () = Telemetry.Counter.incr c_hits
+let note_miss () = Telemetry.Counter.incr c_misses
+let note_distinct () = Telemetry.Counter.incr c_distinct
 
 type ('k, 'v) shard = {
   lock : Mutex.t;
@@ -144,12 +141,14 @@ let find_or_compute t key compute =
   match found with
   | Some v ->
       Atomic.incr t.s_hits;
-      Atomic.incr g_hits;
+      Telemetry.Counter.incr c_hits;
       v
   | None ->
       Atomic.incr t.s_misses;
-      Atomic.incr g_misses;
-      let v = compute () in
+      Telemetry.Counter.incr c_misses;
+      (* The compute is the span-worthy part of a memoised lookup: one
+         per distinct work item actually performed. *)
+      let v = Telemetry.span "memo.compute" compute in
       Mutex.lock shard.lock;
       (* Re-check under the lock: a sibling domain may have stored the
          key while we were computing. Keep the first stored binding so
@@ -160,12 +159,12 @@ let find_or_compute t key compute =
           if Option.is_none (bucket_find t.equal key !b) then begin
             b := (key, v) :: !b;
             Atomic.incr t.s_distinct;
-            Atomic.incr g_distinct
+            Telemetry.Counter.incr c_distinct
           end
       | None ->
           Hashtbl.replace shard.table h (ref [ (key, v) ]);
           Atomic.incr t.s_distinct;
-          Atomic.incr g_distinct);
+          Telemetry.Counter.incr c_distinct);
       Mutex.unlock shard.lock;
       v
 

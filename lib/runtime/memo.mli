@@ -70,18 +70,19 @@ val stats : ('k, 'v) t -> stats
 val no_stats : stats
 val add_stats : stats -> stats -> stats
 
-(** {1 Process-wide counters}
+(** {1 Run-scoped counters}
 
-    Aggregated over every table — what [locald --stats] and the bench
-    JSON report. *)
+    Aggregated over every table into the ambient telemetry run — what
+    [locald --stats] and the bench JSON report.
+    [Telemetry.new_run ()] starts an independent tally (the bench
+    harness does this between workloads). *)
 
-val global_stats : unit -> stats
-val reset_global_stats : unit -> unit
+val run_stats : unit -> stats
 
 val note_hit : unit -> unit
 val note_miss : unit -> unit
 val note_distinct : unit -> unit
-(** Bump the process-wide counters directly — for decide-once caches
+(** Bump the run-scoped counters directly — for decide-once caches
     implemented outside this module (the read-adaptive restriction
     scanner) that report into the same tallies. *)
 

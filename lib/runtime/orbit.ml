@@ -171,13 +171,11 @@ let distinct_classes dc view decos =
   !classes
 
 (* ------------------------------------------------------------------ *)
-(* Process-wide scan accounting                                         *)
+(* Run-scoped scan accounting                                           *)
 (* ------------------------------------------------------------------ *)
 
-let g_scanned = Atomic.make 0
+let c_scanned = Telemetry.Counter.make "orbit.scanned"
 
-let scanned () = Atomic.get g_scanned
+let scanned () = Telemetry.Counter.get c_scanned
 
-let add_scanned n = ignore (Atomic.fetch_and_add g_scanned n)
-
-let reset_scanned () = Atomic.set g_scanned 0
+let add_scanned n = Telemetry.Counter.add c_scanned n

@@ -68,11 +68,12 @@ val distinct_classes :
     property-test grade — the hot quotient scans count classes
     arithmetically. *)
 
-(** {1 Process-wide scan accounting}
+(** {1 Run-scoped scan accounting}
 
     The quotient paths record how many restriction classes each scan
-    enumerated; bench rows surface the total as [orbit_classes]. *)
+    enumerated, into the ambient telemetry run (counter
+    [orbit.scanned]); bench rows surface the total as [orbit_classes]
+    and [Telemetry.new_run] starts a fresh tally. *)
 
 val scanned : unit -> int
 val add_scanned : int -> unit
-val reset_scanned : unit -> unit

@@ -49,6 +49,39 @@ let seq_threshold =
       | _ -> 32)
   | None -> 32
 
+exception Lost_task of { index : int; total : int }
+
+let () =
+  Printexc.register_printer (function
+    | Lost_task { index; total } ->
+        Some
+          (Printf.sprintf
+             "Locald_runtime.Pool.Lost_task: fan-out finished without a \
+              result for task %d of %d (worker lost mid-run?)"
+             index total)
+    | _ -> None)
+
+(* The completion check of [map]: every slot of the fan-out must have
+   been filled. A missing slot means a worker vanished without either
+   a result or an exception — name the task instead of dying on a bare
+   assertion, so a run killed under a fault plan reports *which* work
+   item was lost. *)
+let require_all results =
+  let total = Array.length results in
+  Array.mapi
+    (fun index -> function
+      | Some y -> y
+      | None -> raise (Lost_task { index; total }))
+    results
+
+(* Telemetry: fan-out shape and queue pressure. Counters are always-on
+   (atomic bumps); the queue-depth gauge is only touched when telemetry
+   is active because it takes the metric lock. *)
+let c_maps = Telemetry.Counter.make "pool.maps"
+let c_tasks = Telemetry.Counter.make "pool.tasks"
+let c_steals = Telemetry.Counter.make "pool.steals"
+let g_queue_depth = Telemetry.Gauge.make "pool.queue_depth.max"
+
 type t = {
   jobs : int;
   lock : Mutex.t;
@@ -108,13 +141,18 @@ let shutdown pool =
 let submit pool task =
   Mutex.lock pool.lock;
   Queue.push task pool.queue;
+  let depth = Queue.length pool.queue in
   Condition.signal pool.work_ready;
-  Mutex.unlock pool.lock
+  Mutex.unlock pool.lock;
+  Telemetry.Counter.incr c_tasks;
+  if Telemetry.active () then
+    Telemetry.Gauge.max_to g_queue_depth (float_of_int depth)
 
 let try_steal pool =
   Mutex.lock pool.lock;
   let task = if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue) in
   Mutex.unlock pool.lock;
+  if task <> None then Telemetry.Counter.incr c_steals;
   task
 
 (* ------------------------------------------------------------------ *)
@@ -156,9 +194,10 @@ let set_default_jobs j =
 let map ?pool f xs =
   let pool = match pool with Some p -> p | None -> default () in
   let n = Array.length xs in
+  Telemetry.Counter.incr c_maps;
   if pool.jobs = 1 || n <= 1 || n < seq_threshold || Domain.DLS.get inside_worker
-  then Array.map f xs
-  else begin
+  then Telemetry.span "pool.map" (fun () -> Array.map f xs)
+  else Telemetry.span "pool.map" @@ fun () -> begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
     let failed = Atomic.make None in
@@ -188,13 +227,15 @@ let map ?pool f xs =
     let done_cond = Condition.create () in
     for _ = 2 to participants do
       submit pool (fun () ->
-          body ();
+          (* Per-worker busy time: the span runs on the worker domain,
+             so its record lands in that domain's lane of the trace. *)
+          Telemetry.span "pool.worker" body;
           Mutex.lock done_lock;
           Atomic.decr pending;
           Condition.signal done_cond;
           Mutex.unlock done_lock)
     done;
-    body ();
+    Telemetry.span "pool.worker" body;
     (* Help drain the queue while stragglers finish — a queued sibling
        task may be stuck behind other work, and stealing it here is
        what makes the wait deadlock-free — then block on the
@@ -214,8 +255,7 @@ let map ?pool f xs =
     wait ();
     match Atomic.get failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None ->
-        Array.map (function Some y -> y | None -> assert false) results
+    | None -> require_all results
   end
 
 let map_list ?pool f xs = Array.to_list (map ?pool f (Array.of_list xs))

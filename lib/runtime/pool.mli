@@ -45,13 +45,34 @@ val set_default_jobs : int -> unit
 
 (** {1 Deterministic fan-out} *)
 
+exception Lost_task of { index : int; total : int }
+(** A fan-out completed with no result {e and} no exception in slot
+    [index] of [total] — a worker was lost mid-run (e.g. killed under a
+    fault plan). Registered with a [Printexc] printer so an escaping
+    instance names the lost task instead of printing a bare
+    constructor. *)
+
+val require_all : 'a option array -> 'a array
+(** The completion check of {!map}: unwrap every slot, raising
+    {!Lost_task} with the first missing index. Exposed so the
+    lost-worker diagnosis is unit-testable; ordinary callers never need
+    it. *)
+
 val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 (** Ordered parallel map. If any application of [f] raises, the first
     exception (in claim order) is re-raised on the caller after the
-    fan-out drains, and the pool remains usable. Fan-outs smaller than
+    fan-out drains, and the pool remains usable; a slot left empty with
+    no recorded exception raises {!Lost_task}. Fan-outs smaller than
     [LOCALD_SEQ_THRESHOLD] items (default 32) take the exact sequential
     path — below that the domain wake-up costs more than the work, and
-    by the determinism contract the results are identical. *)
+    by the determinism contract the results are identical.
+
+    Telemetry: every call counts into [pool.maps]; when telemetry is
+    active the whole fan-out runs under a [pool.map] span and each
+    participant's busy time under a [pool.worker] span on its own
+    domain; submitted tasks, caller steals and peak queue depth are
+    recorded as [pool.tasks], [pool.steals] and
+    [pool.queue_depth.max]. *)
 
 val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 

@@ -1,9 +1,28 @@
-(* Wall-clock helpers for the experiment drivers and the bench
-   harness (CPU time would hide the whole point of the pool). *)
+(* Timing for the experiment drivers, the bench harness and the
+   telemetry spans (CPU time would hide the whole point of the pool).
 
+   Durations are measured on the monotonic clock: the wall clock
+   ([Unix.gettimeofday]) is subject to NTP steps, which can yield
+   negative or wildly wrong intervals and poison the bench --check
+   regression gate. OCaml 5.1's [Unix] does not expose [clock_gettime],
+   so [now] goes through the bechamel monotonic-clock stub (a thin
+   [@@noalloc] binding to CLOCK_MONOTONIC) that the bench harness
+   already links. *)
+
+(* Calendar timestamp — only where a real date/time is wanted (log
+   headers, report stamps). Never subtract two of these. *)
 let wall () = Unix.gettimeofday ()
 
+(* Monotonic seconds since an arbitrary origin: meaningful only as a
+   difference between two calls. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* Defensive clamp: the monotonic clock cannot go backwards, but keep
+   every reported duration non-negative even if a platform stub
+   misbehaves. *)
+let duration_since t0 = Float.max 0. (now () -. t0)
+
 let time f =
-  let t0 = wall () in
+  let t0 = now () in
   let r = f () in
-  (r, wall () -. t0)
+  (r, duration_since t0)

@@ -1,7 +1,19 @@
-(** Wall-clock timing (monotonic enough for experiment reporting). *)
+(** Timing: monotonic durations, calendar timestamps. *)
 
 val wall : unit -> float
-(** Seconds since the epoch, sub-millisecond resolution. *)
+(** Seconds since the epoch ([Unix.gettimeofday]) — a {e calendar}
+    timestamp for report headers and log stamps. Subject to NTP steps;
+    never use differences of [wall] as durations. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary origin (CLOCK_MONOTONIC):
+    immune to clock steps, meaningful only as a difference between two
+    calls in the same process. *)
+
+val duration_since : float -> float
+(** [duration_since t0] is [now () -. t0] clamped at 0, for [t0]
+    obtained from {!now}. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] is [(f (), wall-clock seconds it took)]. *)
+(** [time f] is [(f (), monotonic seconds it took)]; the duration is
+    never negative. *)
