@@ -478,7 +478,23 @@ let collect_quick_entries () =
       runs)
     quick_workloads
 
+(* The bench JSON writer and a live checkpoint writer must never
+   interleave output: a shard checkpoint flushes mid-line-accurate
+   JSONL on its own fd, and a bench write racing it in the same
+   process could only happen through a harness bug — refuse loudly
+   rather than corrupt either stream. *)
+let refuse_if_checkpointing () =
+  let open_writers = Locald_runtime.Checkpoint.active_writers () in
+  if open_writers > 0 then begin
+    Printf.eprintf
+      "bench: refusing to write bench JSON while %d checkpoint writer(s) are \
+       open in this process\n"
+      open_writers;
+    exit Locald_runtime.Shard.Exit.usage
+  end
+
 let run_quick_bench path =
+  refuse_if_checkpointing ();
   print_endline "";
   print_endline "=================================================================";
   print_endline " PART 4: quick bench (machine-readable)";

@@ -181,7 +181,7 @@ let faults_cmd =
     | rows -> print_faults rows
     | exception Invalid_argument msg ->
         prerr_endline ("locald: " ^ msg);
-        exit 2
+        exit Shard.Exit.usage
   in
   let drop =
     Arg.(
@@ -240,7 +240,9 @@ let certify_cmd =
     let rows = Locald_core.Certify.run ~quick () in
     Report.print_certify rows;
     maybe_stats stats;
-    if not (Locald_core.Certify.all_ok rows) then exit 1
+    (* Exit 3 (verdict mismatch), per the README's exit-code
+       convention shared with [merge --expect-digest]. *)
+    if not (Locald_core.Certify.all_ok rows) then exit Shard.Exit.mismatch
   in
   let all_flag =
     Arg.(
@@ -266,7 +268,7 @@ let lint_cmd =
     let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
     if missing <> [] then begin
       prerr_endline ("locald lint: no such path: " ^ String.concat ", " missing);
-      exit 2
+      exit Shard.Exit.usage
     end;
     let findings = Locald_analysis.Lint.scan_tree ~roots in
     List.iter
@@ -279,7 +281,7 @@ let lint_cmd =
         Printf.printf "lint: clean (%s)\n" (String.concat " " roots)
     | fs ->
         Printf.printf "lint: %d finding(s)\n" (List.length fs);
-        exit 1
+        exit Shard.Exit.mismatch
   in
   let roots =
     Arg.(
@@ -334,7 +336,7 @@ let gmr_cmd =
     match Gmr.build ~config ~r machine with
     | Error _ ->
         prerr_endline "machine did not halt within the configured fuel";
-        exit 1
+        exit Shard.Exit.incomplete
     | Ok t ->
         Printf.printf
           "G(%s, %d): %d nodes, %d edges; table %dx%d; steps=%d output=%d; \
@@ -484,7 +486,7 @@ let metrics_cmd =
           ("locald metrics: unknown experiment " ^ name ^ " (try: "
           ^ String.concat " | " (List.map fst experiments)
           ^ ")");
-        exit 2
+        exit Shard.Exit.usage
     | Some driver ->
         apply_jobs jobs;
         apply_memo memo;
@@ -514,6 +516,504 @@ let metrics_cmd =
       const run $ experiment_arg $ quick_flag $ seed_opt $ jobs_opt $ memo_opt
       $ trace_opt)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded exhaustive runs                                             *)
+(* ------------------------------------------------------------------ *)
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("locald: " ^ msg);
+      exit Shard.Exit.usage)
+    fmt
+
+let workload_opt =
+  Arg.(
+    value
+    & opt string Sweeps.default_name
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Sharded workload: %s."
+             (String.concat " | " Sweeps.names)))
+
+let lookup_workload name =
+  match Sweeps.find name with
+  | Some w -> w
+  | None ->
+      usage_error "unknown workload %s (try: %s)" name
+        (String.concat " | " Sweeps.names)
+
+let chunk_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"RANKS"
+        ~doc:
+          "Checkpoint chunk size in assignment ranks (default: the \
+           workload's own). Must match across the shards of one run.")
+
+let fsync_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "fsync-every" ] ~docv:"N"
+        ~doc:
+          "Checkpoint appends between fsync calls (default 1: sync \
+           every chunk). Larger values trade crash-window for speed.")
+
+let throttle_opt =
+  Arg.(
+    value & opt float 0.
+    & info [ "throttle-ms" ] ~docv:"MS"
+        ~doc:
+          "Testing aid: hold each chunk for at least $(docv) \
+           milliseconds, so kill/resume tests have time to interrupt a \
+           run mid-shard. Results are unaffected.")
+
+let plan_of ~w ~chunk ~shards =
+  let g = w.Sweeps.w_geometry () in
+  let chunk = Option.value chunk ~default:w.Sweeps.w_chunk in
+  match Shard.plan ~total:g.Sweeps.g_total ~chunk ~shards () with
+  | p -> p
+  | exception Invalid_argument msg -> usage_error "%s" msg
+
+let shard_cmd =
+  let run workload index shards checkpoint resume chunk fsync_every throttle
+      jobs memo stats trace =
+    apply_jobs jobs;
+    apply_memo memo;
+    apply_trace trace;
+    let w = lookup_workload workload in
+    if shards <= 0 then usage_error "--of must be positive";
+    if index < 0 || index >= shards then
+      usage_error "--index %d outside [0, %d)" index shards;
+    let plan = plan_of ~w ~chunk ~shards in
+    let eval0 = w.Sweeps.w_eval () in
+    let eval ~lo ~hi =
+      if throttle > 0. then Unix.sleepf (throttle /. 1000.);
+      eval0 ~lo ~hi
+    in
+    let (s, evaluated), wall =
+      Timing.time (fun () ->
+          Shard.run ?checkpoint ~resume ~fsync_every ~workload:w.Sweeps.w_name
+            ~plan ~index ~eval ())
+    in
+    Printf.printf
+      "shard %d/%d (%s): %d chunks (%d evaluated, %d restored), %d correct, \
+       %d wrong, digest %s  [%.2fs]\n"
+      s.Shard.s_index s.Shard.s_of w.Sweeps.w_name s.Shard.s_chunks evaluated
+      (s.Shard.s_chunks - evaluated)
+      s.Shard.s_correct s.Shard.s_wrong s.Shard.s_digest wall;
+    maybe_stats stats
+  in
+  let index =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "index" ] ~docv:"I" ~doc:"This shard's index, 0-based.")
+  in
+  let shards =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "of" ] ~docv:"N" ~doc:"Total shard count of the run.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Write crash-safe chunk checkpoints and the completion \
+             marker under $(docv) (one JSONL file per shard).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore the checkpoint's valid prefix (chunk sequence and \
+             digest chain verified) instead of recomputing it. Without \
+             a matching checkpoint this is a fresh run.")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Evaluate one shard of an exhaustive workload: the chunks of \
+          assignment ranks owned by $(b,--index) under a deterministic \
+          $(b,--of)-way partition, checkpointing each completed chunk.")
+    Term.(
+      const run $ workload_opt $ index $ shards $ checkpoint $ resume
+      $ chunk_opt $ fsync_opt $ throttle_opt $ jobs_opt $ memo_opt $ stats_flag
+      $ trace_opt)
+
+(* Merge reporting shared by [merge] and [sweep]: print the folded
+   result, return the process exit code per the README convention. *)
+let report_merged ~json ~expect_digest merged =
+  match merged with
+  | Shard.Complete { m_correct; m_wrong; m_assignments; m_fail; m_digest } ->
+      if json then
+        print_endline
+          (Telemetry.Json.to_string
+             (Telemetry.Json.Obj
+                [
+                  ("status", Telemetry.Json.String "complete");
+                  ("assignments", Telemetry.Json.Int m_assignments);
+                  ("correct", Telemetry.Json.Int m_correct);
+                  ("wrong", Telemetry.Json.Int m_wrong);
+                  ( "first_failure",
+                    match m_fail with
+                    | None -> Telemetry.Json.Null
+                    | Some r -> Telemetry.Json.Int r );
+                  ("digest", Telemetry.Json.String m_digest);
+                ]))
+      else
+        Printf.printf "merged: %d assignments, %d correct, %d wrong%s\ndigest %s\n"
+          m_assignments m_correct m_wrong
+          (match m_fail with
+          | None -> ""
+          | Some r -> Printf.sprintf " (first failure at rank %d)" r)
+          m_digest;
+      (match expect_digest with
+      | Some d when d <> m_digest ->
+          Printf.eprintf
+            "locald: merged digest %s does not match expected %s\n" m_digest d;
+          Shard.Exit.mismatch
+      | _ -> Shard.Exit.ok)
+  | Shard.Incomplete { mi_missing; mi_correct; mi_wrong; mi_covered; mi_assignments }
+    ->
+      let missing = String.concat ", " (List.map string_of_int mi_missing) in
+      if json then
+        print_endline
+          (Telemetry.Json.to_string
+             (Telemetry.Json.Obj
+                [
+                  ("status", Telemetry.Json.String "incomplete");
+                  ( "missing_shards",
+                    Telemetry.Json.List
+                      (List.map (fun i -> Telemetry.Json.Int i) mi_missing) );
+                  ("covered", Telemetry.Json.Int mi_covered);
+                  ("assignments", Telemetry.Json.Int mi_assignments);
+                  ("correct", Telemetry.Json.Int mi_correct);
+                  ("wrong", Telemetry.Json.Int mi_wrong);
+                ]))
+      else
+        Printf.printf
+          "incomplete: missing shards [%s]; %d/%d ranks covered (%d correct, \
+           %d wrong) — no digest for a partial result\n"
+          missing mi_covered mi_assignments mi_correct mi_wrong;
+      Shard.Exit.incomplete
+
+(* Checkpoint-directory discovery for [merge]: the run's geometry is
+   read back from whatever the directory holds (a completion summary
+   preferably, else a checkpoint header), so merging needs no flags
+   beyond the directory. *)
+let scan_shard_indices dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun e ->
+             try
+               Scanf.sscanf e "shard-%d.%s%!" (fun i rest ->
+                   if rest = "jsonl" || rest = "done.json" then Some i
+                   else None)
+             with Scanf.Scan_failure _ | End_of_file | Failure _ -> None)
+      |> List.sort_uniq compare
+
+let discover_geometry ~dir indices =
+  let from_done i =
+    Option.bind (Checkpoint.read_done ~dir ~index:i) (fun j ->
+        Option.map
+          (fun s ->
+            (s.Shard.s_workload, s.Shard.s_of, s.Shard.s_total, s.Shard.s_chunk))
+          (Shard.summary_of_json j))
+  in
+  let from_header i =
+    Option.map
+      (fun (h, _) ->
+        Checkpoint.(h.h_workload, h.h_of, h.h_total, h.h_chunk))
+      (Checkpoint.load ~dir ~index:i)
+  in
+  let rec first f = function
+    | [] -> None
+    | i :: tl -> ( match f i with Some x -> Some x | None -> first f tl)
+  in
+  match first from_done indices with
+  | Some g -> Some g
+  | None -> first from_header indices
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the merged result as one JSON object.")
+
+let expect_digest_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "expect-digest" ] ~docv:"HEX"
+        ~doc:
+          "Fail (exit 3) unless the merged digest equals $(docv) — how \
+           CI compares a sweep against the committed bench pin.")
+
+let merge_cmd =
+  let run dir json expect_digest =
+    let indices = scan_shard_indices dir in
+    if indices = [] then usage_error "no checkpoint data under %s" dir;
+    match discover_geometry ~dir indices with
+    | None -> usage_error "no readable checkpoint header under %s" dir
+    | Some (wname, shards, total, chunk) ->
+        let plan =
+          match Shard.plan ~total ~chunk ~shards () with
+          | p -> p
+          | exception Invalid_argument msg -> usage_error "%s" msg
+        in
+        let summaries = Shard.read_summaries ~dir ~shards in
+        (match Shard.merge ~workload:wname ~plan ~summaries with
+        | Error msg ->
+            prerr_endline ("locald merge: " ^ msg);
+            exit Shard.Exit.mismatch
+        | Ok merged -> exit (report_merged ~json ~expect_digest merged))
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Checkpoint directory of a sharded run.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Fold the per-shard summaries in a checkpoint directory into \
+          the exact unsharded result. Missing shards yield an honest \
+          $(b,incomplete) report and exit 2, never a fabricated total.")
+    Term.(const run $ dir $ json_flag $ expect_digest_opt)
+
+(* OCaml's Sys signal numbers are internal (negative); name the ones a
+   supervisor actually sees. *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else Printf.sprintf "signal %d" s
+
+let describe_status = function
+  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by %s" (signal_name s)
+
+let sweep_cmd =
+  let run workload shards procs dir chunk fsync_every timeout max_retries
+      retry_seed throttle expect_digest json jobs memo trace =
+    apply_jobs jobs;
+    apply_memo memo;
+    apply_trace trace;
+    let w = lookup_workload workload in
+    if shards <= 0 then usage_error "--of must be positive";
+    if procs <= 0 then usage_error "--procs must be positive";
+    if max_retries < 0 then usage_error "--max-retries must be >= 0";
+    let plan = plan_of ~w ~chunk ~shards in
+    let child_argv i =
+      let base =
+        [
+          Sys.executable_name; "shard";
+          "--workload"; w.Sweeps.w_name;
+          "--index"; string_of_int i;
+          "--of"; string_of_int shards;
+          "--checkpoint"; dir;
+          "--resume";
+          "--chunk"; string_of_int plan.Shard.p_chunk;
+          "--fsync-every"; string_of_int fsync_every;
+        ]
+      in
+      let base =
+        if throttle > 0. then
+          base @ [ "--throttle-ms"; Printf.sprintf "%g" throttle ]
+        else base
+      in
+      let base =
+        match jobs with
+        | Some j -> base @ [ "--jobs"; string_of_int j ]
+        | None -> base
+      in
+      Array.of_list base
+    in
+    let spawn i =
+      let argv = child_argv i in
+      Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+    in
+    let now () = Unix.gettimeofday () in
+    let deadline_from t =
+      match timeout with None -> infinity | Some s -> t +. s
+    in
+    (* Supervisor state: shards queue through [pending] (ready to
+       start), [delayed] (waiting out a backoff), [running] (live
+       child), and end in done or [failed]. Every requeue resumes from
+       the checkpoint, so a retried shard repeats only the chunks the
+       crash lost. *)
+    let pending = Queue.create () in
+    for i = 0 to shards - 1 do
+      Queue.add (i, 0) pending
+    done;
+    let delayed = ref [] in
+    let running = Hashtbl.create 8 in
+    let failed = ref [] in
+    let finished = ref 0 in
+    while !finished + List.length !failed < shards do
+      let t = now () in
+      let ready, later = List.partition (fun (at, _, _) -> at <= t) !delayed in
+      delayed := later;
+      List.iter (fun (_, i, a) -> Queue.add (i, a) pending) ready;
+      while Hashtbl.length running < procs && not (Queue.is_empty pending) do
+        let i, attempt = Queue.pop pending in
+        let pid = spawn i in
+        Telemetry.event "sweep.spawn"
+          [
+            ("shard", Telemetry.Json.Int i);
+            ("attempt", Telemetry.Json.Int attempt);
+            ("pid", Telemetry.Json.Int pid);
+          ];
+        Printf.printf "sweep: shard %d started (pid %d%s)\n%!" i pid
+          (if attempt > 0 then Printf.sprintf ", retry %d" attempt else "");
+        Hashtbl.replace running pid (i, attempt, deadline_from (now ()))
+      done;
+      let timed_out = ref [] in
+      Hashtbl.iter
+        (fun pid (i, attempt, deadline) ->
+          if now () > deadline then timed_out := (pid, i, attempt) :: !timed_out)
+        running;
+      List.iter
+        (fun (pid, i, attempt) ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          Printf.printf "sweep: shard %d (pid %d) exceeded --timeout; killed\n%!"
+            i pid;
+          (* Stop re-killing while we wait to reap it. *)
+          Hashtbl.replace running pid (i, attempt, infinity))
+        !timed_out;
+      let reaped = ref [] in
+      Hashtbl.iter
+        (fun pid _ ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> ()
+          | _, status -> reaped := (pid, status) :: !reaped
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              reaped := (pid, Unix.WEXITED 127) :: !reaped)
+        running;
+      List.iter
+        (fun (pid, status) ->
+          let i, attempt, _ = Hashtbl.find running pid in
+          Hashtbl.remove running pid;
+          Telemetry.event "shard.exit"
+            [
+              ("shard", Telemetry.Json.Int i);
+              ("attempt", Telemetry.Json.Int attempt);
+              ("status", Telemetry.Json.String (describe_status status));
+            ];
+          let ok =
+            status = Unix.WEXITED 0 && Checkpoint.read_done ~dir ~index:i <> None
+          in
+          if ok then begin
+            incr finished;
+            Printf.printf "sweep: shard %d finished (%d/%d)\n%!" i !finished
+              shards
+          end
+          else if attempt >= max_retries then begin
+            failed := i :: !failed;
+            Printf.printf
+              "sweep: shard %d failed (%s); %d retries exhausted\n%!" i
+              (describe_status status) max_retries
+          end
+          else begin
+            let delay = Shard.backoff ~seed:retry_seed ~index:i ~attempt in
+            Telemetry.event "shard.retry"
+              [
+                ("shard", Telemetry.Json.Int i);
+                ("attempt", Telemetry.Json.Int attempt);
+                ("delay_s", Telemetry.Json.Float delay);
+              ];
+            Printf.printf
+              "sweep: shard %d died (%s); retrying in %.2fs (retry %d/%d)\n%!"
+              i (describe_status status) delay (attempt + 1) max_retries;
+            delayed := (now () +. delay, i, attempt + 1) :: !delayed
+          end)
+        !reaped;
+      if !reaped = [] then Unix.sleepf 0.05
+    done;
+    let summaries = Shard.read_summaries ~dir ~shards in
+    match Shard.merge ~workload:w.Sweeps.w_name ~plan ~summaries with
+    | Error msg ->
+        prerr_endline ("locald sweep: inconsistent summaries: " ^ msg);
+        exit Shard.Exit.mismatch
+    | Ok merged ->
+        if !failed <> [] then
+          Printf.printf "sweep: failed shards after retries: [%s]\n"
+            (String.concat ", "
+               (List.map string_of_int (List.sort compare !failed)));
+        exit (report_merged ~json ~expect_digest merged)
+  in
+  let procs =
+    Arg.(
+      value & opt int 2
+      & info [ "procs" ] ~docv:"K"
+          ~doc:"Shard subprocesses to keep running at once (default 2).")
+  in
+  let shards =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "of" ] ~docv:"N" ~doc:"Shard count to partition the run into.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "locald-ckpt"
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint directory shared by the shard subprocesses \
+             (default $(b,locald-ckpt)). A directory left by an \
+             interrupted sweep of the same run is resumed, not redone.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Kill (SIGKILL) any shard running longer than $(docv) \
+             seconds; it is retried like a crash, resuming from its \
+             checkpoint.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"R"
+          ~doc:
+            "Retries per shard before it is abandoned and the sweep \
+             reports incomplete (default 2).")
+  in
+  let retry_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "retry-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the deterministic backoff jitter — the retry \
+             schedule is reproducible from it.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Supervise a full sharded run: fork $(b,--of) shard \
+          subprocesses ($(b,--procs) at a time), retry crashed or \
+          timed-out shards with capped exponential backoff (resuming \
+          their checkpoints), and merge. Exit 0 on a complete merge, 2 \
+          if shards are missing after retries, 3 on a digest or \
+          consistency mismatch.")
+    Term.(
+      const run $ workload_opt $ shards $ procs $ dir $ chunk_opt $ fsync_opt
+      $ timeout $ max_retries $ retry_seed $ throttle_opt $ expect_digest_opt
+      $ json_flag $ jobs_opt $ memo_opt $ trace_opt)
+
 let main =
   let doc =
     "Reproduction of `What can be decided locally without identifiers?' \
@@ -525,7 +1025,12 @@ let main =
       table1_cmd; fig1_cmd; fig2_cmd; fig3_cmd; corollary1_cmd; p3_cmd;
       diagonal_cmd; oi_cmd; hereditary_cmd; construction_cmd; warmups_cmd;
       faults_cmd; certify_cmd; lint_cmd; gmr_cmd; coverage_cmd; metrics_cmd;
-      all_cmd;
+      shard_cmd; merge_cmd; sweep_cmd; all_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* SIGINT/SIGTERM flush the trace sink and any open checkpoint
+     writers before the process dies by the signal — an interrupted
+     shard loses nothing past its last chunk. *)
+  Telemetry.install_signal_handlers ();
+  exit (Cmd.eval main)

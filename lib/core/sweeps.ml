@@ -1,0 +1,103 @@
+(* Shardable exhaustive workloads: name -> (instance, decider,
+   expectation, rank geometry), bridging the decision layer's
+   range-restricted evaluator to the runtime's shard/checkpoint
+   machinery.
+
+   The contract a workload must honour: its rank space is the
+   lexicographic injection order, its eval is a pure function of the
+   rank range (so chunks recompute identically on retry/resume), and
+   tiling [0, total) over eval reproduces exactly the unsharded
+   [evaluate_exhaustive] counts and first-failure rank. *)
+
+open Locald_graph
+open Locald_local
+open Locald_runtime
+open Locald_decision
+
+type geometry = { g_n : int; g_bound : int; g_total : int }
+
+type workload = {
+  w_name : string;
+  w_description : string;
+  w_expected : bool;
+  w_chunk : int;
+  w_geometry : unit -> geometry;
+  w_eval : unit -> lo:int -> hi:int -> Shard.chunk_result;
+  w_unsharded : unit -> Decider.evaluation;
+}
+
+let regime = Ids.f_linear_plus 1
+
+(* A tree-instance workload: [p_decider params] quantified over every
+   injective assignment of the instance's nodes into [0 .. n-1]. The
+   instance is built lazily (the registry itself must stay cheap to
+   construct) and shared between geometry, eval and the reference
+   run. *)
+let tree_workload ~name ~description ~arity ~r ~apex ~expected ~chunk =
+  let params = { Tree_instances.regime; arity; r } in
+  let lg = lazy (Tree_instances.small_instance params ~apex) in
+  let alg = Tree_deciders.p_decider params in
+  let geometry () =
+    let lg = Lazy.force lg in
+    let n = Labelled.order lg in
+    { g_n = n; g_bound = n; g_total = Orbit.perm ~bound:n ~k:n }
+  in
+  let eval () =
+    let lg = Lazy.force lg in
+    let n = Labelled.order lg in
+    let prep = Runner.prepare ~memo:(Memo.default_mode ()) alg lg in
+    fun ~lo ~hi ->
+      let rv =
+        Decider.evaluate_exhaustive_range ~prep ~bound:n ~lo ~hi alg ~expected
+          lg
+      in
+      {
+        Shard.r_correct = rv.Decider.rv_correct;
+        r_wrong = rv.Decider.rv_wrong;
+        r_fail = Option.map (fun (rank, _, _) -> rank) rv.Decider.rv_failure;
+      }
+  in
+  let unsharded () =
+    let lg = Lazy.force lg in
+    let n = Labelled.order lg in
+    Decider.evaluate_exhaustive ~bound:n alg ~expected ~instance:name lg
+  in
+  {
+    w_name = name;
+    w_description = description;
+    w_expected = expected;
+    w_chunk = chunk;
+    w_geometry = geometry;
+    w_eval = eval;
+    w_unsharded = unsharded;
+  }
+
+let all =
+  [
+    (* The bench workload of the same name: H+ (arity 2, r = 2, apex
+       (0,1)) under the P decider, expected accepted — 8 nodes,
+       40320 assignments. Its merged digest pins against
+       BENCH_quick.json's exhaustive-decider entry. *)
+    tree_workload ~name:"exhaustive-decider"
+      ~description:
+        "P decider over every assignment of H+ (arity 2, r = 2) — the \
+         BENCH_quick workload"
+      ~arity:2 ~r:2 ~apex:(0, 1) ~expected:true ~chunk:512;
+    (* A second size for quick sharded smoke runs: the linear (arity
+       1) cone, small enough that every shard finishes in
+       milliseconds. *)
+    tree_workload ~name:"exhaustive-decider-a1"
+      ~description:
+        "P decider over every assignment of the arity-1, r = 4 cone"
+      ~arity:1 ~r:4 ~apex:(0, 1) ~expected:true ~chunk:64;
+  ]
+
+let names = List.map (fun w -> w.w_name) all
+
+let find name = List.find_opt (fun w -> w.w_name = name) all
+
+let default_name = "exhaustive-decider"
+
+let digest (e : Decider.evaluation) =
+  Shard.result_digest ~correct:e.Decider.correct ~wrong:e.Decider.wrong
+    ~assignments:e.Decider.assignments

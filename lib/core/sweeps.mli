@@ -1,0 +1,49 @@
+(** The registry of shardable exhaustive workloads.
+
+    A sweep workload is an exhaustive evaluation whose search space is
+    addressed by lexicographic assignment rank
+    ({!Locald_local.Ids.injection_at}), so it can be partitioned by
+    {!Locald_runtime.Shard} across OS processes and merged exactly.
+    The registry names the workloads the [locald shard] / [merge] /
+    [sweep] subcommands (and the CI kill-resume smoke test) operate
+    on; ["exhaustive-decider"] is the same instance, decider and
+    expectation as the BENCH_quick.json workload of that name, so a
+    merged sweep digest is directly comparable against the committed
+    bench pin. *)
+
+type geometry = {
+  g_n : int;      (** nodes of the instance *)
+  g_bound : int;  (** ids are drawn from [0 .. g_bound - 1] *)
+  g_total : int;  (** injective assignments = perm (g_bound, g_n) *)
+}
+
+type workload = {
+  w_name : string;
+  w_description : string;
+  w_expected : bool;  (** is the instance in the property? *)
+  w_chunk : int;      (** default checkpoint chunk size, in ranks *)
+  w_geometry : unit -> geometry;
+  w_eval :
+    unit -> lo:int -> hi:int -> Locald_runtime.Shard.chunk_result;
+      (** [w_eval ()] builds the instance, prepared views and
+          decide-once memo once; the returned closure evaluates rank
+          ranges against them. Single-process state: build one per
+          shard process. *)
+  w_unsharded : unit -> Locald_decision.Decider.evaluation;
+      (** The reference unsharded run ([evaluate_exhaustive], quotient
+          and all) the merged result must reproduce. *)
+}
+
+val all : workload list
+
+val names : string list
+
+val find : string -> workload option
+
+val default_name : string
+(** ["exhaustive-decider"]. *)
+
+val digest : Locald_decision.Decider.evaluation -> string
+(** The pinned digest of an evaluation:
+    {!Locald_runtime.Shard.result_digest} over its counts — equal to
+    the bench's [digest_of (correct, wrong, assignments)]. *)

@@ -160,6 +160,75 @@ let evaluate_exhaustive ?(quotient = true) ~bound alg ~expected ~instance lg =
     end
   end
 
+(* Range-restricted exhaustive evaluation, for the sharded runs: the
+   assignments of lexicographic ranks [lo, hi) only, with the failure
+   witness carrying its global rank so per-shard firsts merge into the
+   global first by a minimum. Always the naive enumeration — the
+   quotient scan decides the whole space at once and cannot be
+   restricted to a rank interval — but through the same prepared
+   views and decide-once memo, so decides repeat across chunks at memo
+   cost. *)
+type range_evaluation = {
+  rv_lo : int;
+  rv_hi : int;
+  rv_correct : int;
+  rv_wrong : int;
+  rv_failure : (int * Ids.t * Verdict.t) option;
+}
+
+let evaluate_exhaustive_range ?prep ~bound ~lo ~hi alg ~expected lg =
+  Telemetry.span "decider.evaluate_range" @@ fun () ->
+  let n = Locald_graph.Labelled.order lg in
+  let total = Orbit.perm ~bound ~k:n in
+  if lo < 0 || hi < lo || hi > total then
+    invalid_arg
+      (Printf.sprintf
+         "Decider.evaluate_exhaustive_range: range [%d,%d) outside [0,%d]" lo
+         hi total);
+  let prep =
+    match prep with
+    | Some p -> p
+    | None -> Runner.prepare ~memo:(Memo.default_mode ()) alg lg
+  in
+  let verdict_of ids = Verdict.of_outputs (Runner.run_prepared prep ~ids) in
+  let correct = ref 0 and wrong = ref 0 and failure = ref None in
+  let rest = ref (Ids.enumerate_injections_from ~n ~bound ~start:lo) in
+  let next_rank = ref lo in
+  while !next_rank < hi do
+    (* Same batching discipline as [tally]: force the chunk
+       sequentially, decide it in parallel, so results are identical
+       at any job count. *)
+    let want = min tally_chunk (hi - !next_rank) in
+    let buf = ref [] and got = ref 0 in
+    while !got < want do
+      match !rest () with
+      | Seq.Nil -> assert false (* hi <= total bounds the stream *)
+      | Seq.Cons (ids, tl) ->
+          buf := ids :: !buf;
+          incr got;
+          rest := tl
+    done;
+    let chunk = Array.of_list (List.rev !buf) in
+    let verdicts = Pool.map verdict_of chunk in
+    Array.iteri
+      (fun i verdict ->
+        if Verdict.accepts verdict = expected then incr correct
+        else begin
+          incr wrong;
+          if !failure = None then
+            failure := Some (!next_rank + i, chunk.(i), verdict)
+        end)
+      verdicts;
+    next_rank := !next_rank + want
+  done;
+  {
+    rv_lo = lo;
+    rv_hi = hi;
+    rv_correct = !correct;
+    rv_wrong = !wrong;
+    rv_failure = !failure;
+  }
+
 let all_correct e = e.wrong = 0 && e.assignments > 0
 
 (* ------------------------------------------------------------------ *)

@@ -64,6 +64,34 @@ val evaluate_exhaustive :
     memo already warm), so the result — counts, and the first-failure
     witness — is byte-identical to [quotient:false] in every case. *)
 
+type range_evaluation = {
+  rv_lo : int;
+  rv_hi : int;
+  rv_correct : int;
+  rv_wrong : int;
+  rv_failure : (int * Ids.t * Verdict.t) option;
+      (** first wrong assignment in the range, with its {e global}
+          lexicographic rank *)
+}
+
+val evaluate_exhaustive_range :
+  ?prep:('a, bool) Runner.prepared ->
+  bound:int ->
+  lo:int ->
+  hi:int ->
+  ('a, bool) Algorithm.t ->
+  expected:bool ->
+  'a Labelled.t ->
+  range_evaluation
+(** The assignments of lexicographic ranks [\[lo, hi)] of
+    {!Locald_local.Ids.enumerate_injections}'s order only — the
+    range-restricted entry point the sharded exhaustive runs
+    partition on. Any family of ranges that tiles [\[0, total)] sums
+    (counts) and minimises (failure rank) to exactly
+    [evaluate_exhaustive]'s answer. Pass [prep] to share one
+    prepared-view/memo structure across many ranges within a process.
+    @raise Invalid_argument on a range outside [\[0, total\]]. *)
+
 val all_correct : evaluation -> bool
 
 val pp_evaluation : Format.formatter -> evaluation -> unit

@@ -76,6 +76,24 @@ let enumerate_injections ~n ~bound =
   in
   extend [] [] 0
 
+(* Rank-addressed access to the same lexicographic stream, for the
+   sharded exhaustive runs: a chunk [lo, hi) of ranks enumerates
+   independently of every other chunk, and [injection_at] recovers the
+   concrete assignment behind a recorded failure rank. Delegates to the
+   runtime's falling-factorial unranking so restriction streams and
+   assignment streams keep agreeing on what "rank" means. *)
+let injection_at ~n ~bound rank =
+  if bound < n then invalid "cannot inject %d nodes into %d ids" n bound;
+  match Locald_runtime.Orbit.unrank ~bound ~k:n rank with
+  | a -> a
+  | exception Invalid_argument msg -> invalid "%s" msg
+
+let enumerate_injections_from ~n ~bound ~start =
+  if bound < n then invalid "cannot inject %d nodes into %d ids" n bound;
+  match Locald_runtime.Orbit.injections_from ~bound ~k:n ~start with
+  | s -> (s : t Seq.t)
+  | exception Invalid_argument msg -> invalid "%s" msg
+
 type regime =
   | Unbounded
   | Bounded of { name : string; f : int -> int }

@@ -61,6 +61,46 @@ let injections ~bound ~k =
   in
   go [] 0
 
+(* Unranking in the falling-factorial number system: position [i] of
+   the tuple has [perm ~bound:(bound-i-1) ~k:(k-i-1)] completions per
+   candidate value, so the lexicographic rank decomposes digit by digit
+   into indices of the ascending list of unused values. This is the
+   index arithmetic the sharded exhaustive runs partition on: any chunk
+   [lo, hi) of ranks enumerates independently of every other chunk. *)
+let unrank ~bound ~k rank =
+  let total = perm ~bound ~k in
+  if rank < 0 || rank >= total then
+    invalid "Orbit.unrank: rank %d outside [0,%d)" rank total;
+  (* [avail.(0 .. live-1)] are the unused values, ascending. *)
+  let avail = Array.init bound Fun.id in
+  let live = ref bound in
+  let r = ref rank in
+  let out = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let block = perm ~bound:(bound - i - 1) ~k:(k - i - 1) in
+    let j = !r / block in
+    r := !r mod block;
+    out.(i) <- avail.(j);
+    for m = j to !live - 2 do
+      avail.(m) <- avail.(m + 1)
+    done;
+    decr live
+  done;
+  out
+
+let injections_from ~bound ~k ~start =
+  let total = perm ~bound ~k in
+  if start < 0 || start > total then
+    invalid "Orbit.injections_from: start %d outside [0,%d]" start total;
+  (* Each element is unranked independently, so the sequence is
+     persistent (re-forcing a node cannot observe sibling state) and
+     any suffix is as cheap to start as the whole stream. *)
+  let rec from rank () =
+    if rank >= total then Seq.Nil
+    else Seq.Cons (unrank ~bound ~k rank, from (rank + 1))
+  in
+  from start
+
 (* One representative per order type: the rank patterns themselves,
    i.e. the permutations of [{0..k-1}]. Every injective restriction
    with ranks [p] shares its order type with representative [p], and

@@ -33,6 +33,22 @@ val injections : bound:int -> k:int -> int array Seq.t
     the two streams agree on which violation is "first". Arrays are
     fresh. *)
 
+val unrank : bound:int -> k:int -> int -> int array
+(** [unrank ~bound ~k rank] is the [rank]-th tuple of {!injections}'s
+    lexicographic order, computed directly by falling-factorial index
+    arithmetic (no enumeration) — the partition primitive of the
+    sharded exhaustive runs: rank ranges split the stream without any
+    shard depending on another's traversal.
+    @raise Invalid_argument unless [0 <= rank < perm ~bound ~k]. *)
+
+val injections_from : bound:int -> k:int -> start:int -> int array Seq.t
+(** The suffix of {!injections} beginning at rank [start]: the tuples
+    of ranks [start, start+1, ..., perm ~bound ~k - 1] in order, each
+    freshly allocated. [injections_from ~start:0] enumerates the same
+    tuples in the same order as [injections]. The sequence is
+    persistent. @raise Invalid_argument unless
+    [0 <= start <= perm ~bound ~k]. *)
+
 val for_all_injections : bound:int -> k:int -> (int array -> bool) -> bool
 (** [for_all_injections ~bound ~k f] applies [f] to every injective
     k-tuple over [{0..bound-1}] in the same lexicographic order as

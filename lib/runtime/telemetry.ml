@@ -526,6 +526,53 @@ let open_sink path =
 let sink_path () = Option.map (fun s -> s.s_path) (Atomic.get sink)
 
 (* ------------------------------------------------------------------ *)
+(* Shutdown: signal-safe flushing                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [at_exit] does not run when the process dies to SIGINT/SIGTERM, so
+   an interrupted [--trace] run used to lose its buffered tail and an
+   interrupted shard its open checkpoint writer. Writers register
+   flush hooks here; [install_signal_handlers] turns the two
+   termination signals into "run the hooks, close the sink, then die
+   by the signal's default disposition" — the parent still observes
+   death-by-signal (the sweep supervisor classifies on exactly that),
+   but nothing buffered is lost. *)
+
+let shutdown_hooks : (unit -> unit) list ref = ref []
+
+let shutdown_lock = Mutex.create ()
+
+let on_shutdown f =
+  Mutex.lock shutdown_lock;
+  shutdown_hooks := f :: !shutdown_hooks;
+  Mutex.unlock shutdown_lock
+
+let run_shutdown_hooks () =
+  Mutex.lock shutdown_lock;
+  let hooks = !shutdown_hooks in
+  Mutex.unlock shutdown_lock;
+  List.iter (fun f -> try f () with _ -> ()) hooks
+
+let handlers_installed = Atomic.make false
+
+let install_signal_handlers () =
+  if not (Atomic.exchange handlers_installed true) then
+    List.iter
+      (fun signo ->
+        try
+          Sys.set_signal signo
+            (Sys.Signal_handle
+               (fun s ->
+                 run_shutdown_hooks ();
+                 close_sink ();
+                 (* Restore the default disposition and re-deliver, so
+                    the exit status reports death by this signal. *)
+                 Sys.set_signal s Sys.Signal_default;
+                 Unix.kill (Unix.getpid ()) s))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+
+(* ------------------------------------------------------------------ *)
 (* Spans and events                                                    *)
 (* ------------------------------------------------------------------ *)
 

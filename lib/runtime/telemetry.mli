@@ -115,6 +115,28 @@ val tracing : unit -> bool
 
 val sink_path : unit -> string option
 
+(** {1 Shutdown}
+
+    [at_exit] does not run when the process dies to a signal, so an
+    interrupted [--trace] run would lose buffered events and an
+    interrupted shard its open checkpoint tail. *)
+
+val on_shutdown : (unit -> unit) -> unit
+(** Register a hook run (exceptions swallowed) by the installed signal
+    handlers before the process re-delivers the fatal signal to
+    itself. {!Checkpoint} registers its open-writer flush here. *)
+
+val run_shutdown_hooks : unit -> unit
+(** Run the registered hooks now (what the handlers call; exposed for
+    tests). *)
+
+val install_signal_handlers : unit -> unit
+(** Install SIGINT/SIGTERM handlers that run the shutdown hooks, close
+    the trace sink, then restore the default disposition and
+    re-deliver the signal — the process still dies by the signal
+    (parents observe the 128+n convention), with nothing buffered
+    lost. Idempotent. *)
+
 val active : unit -> bool
 (** Tracing or metrics enabled — whether {!span} instruments. *)
 
