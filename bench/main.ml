@@ -187,6 +187,41 @@ let bench_fault_engine_lossy =
          let ids = Ids.shuffled rng (Labelled.order lg) in
          ignore (Fault_runner.run ~plan alg lg ~ids)))
 
+(* The asynchronous engine on the same instance as the gossip
+   benchmark: heap mode measures the adversarial scheduler's cost,
+   FIFO mode the per-link queue discipline. *)
+let bench_async_engine =
+  let lg = lazy (Labelled.init (Gen.grid 6 6) (fun v -> v mod 4)) in
+  let alg =
+    Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
+        Iso.view_signature Hashtbl.hash view)
+  in
+  let rng = Random.State.make [| 22 |] in
+  Test.make ~name:"async engine, heap scheduler (6x6, t=2)"
+    (Staged.stage (fun () ->
+         let lg = Lazy.force lg in
+         let ids = Ids.shuffled rng (Labelled.order lg) in
+         ignore
+           (Async_runner.run
+              ~config:{ Async_runner.sched_seed = 7; fifo = false }
+              alg lg ~ids)))
+
+let bench_async_engine_fifo =
+  let lg = lazy (Labelled.init (Gen.grid 6 6) (fun v -> v mod 4)) in
+  let alg =
+    Algorithm.make ~name:"fingerprint" ~radius:2 (fun view ->
+        Iso.view_signature Hashtbl.hash view)
+  in
+  let rng = Random.State.make [| 22 |] in
+  Test.make ~name:"async engine, per-link FIFO (6x6, t=2)"
+    (Staged.stage (fun () ->
+         let lg = Lazy.force lg in
+         let ids = Ids.shuffled rng (Labelled.order lg) in
+         ignore
+           (Async_runner.run
+              ~config:{ Async_runner.sched_seed = 7; fifo = true }
+              alg lg ~ids)))
+
 let bench_fault_coins =
   let plan = Faults.make ~seed:7 ~drop:0.1 () in
   Test.make ~name:"fault coins (1000 drop draws)"
@@ -210,6 +245,8 @@ let tests =
     bench_coverage;
     bench_a_star;
     bench_gossip_engine;
+    bench_async_engine;
+    bench_async_engine_fifo;
     bench_fault_engine_empty;
     bench_fault_engine_lossy;
     bench_fault_coins;

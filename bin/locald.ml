@@ -81,6 +81,72 @@ let trace_opt =
 
 let apply_trace trace = Option.iter Telemetry.open_sink trace
 
+(* Simulator backend knob: direct synchronous view extraction, or the
+   asynchronous message-passing engine under a seeded adversarial
+   scheduler. Results are byte-identical either way (pinned by the
+   cross-backend battery); only the execution model differs. *)
+let backend_opt =
+  let backend_conv =
+    let parse s =
+      match Locald_local.Backend.of_string s with
+      | Some b -> Ok b
+      | None -> Error (`Msg "backend must be sync | async")
+    in
+    Arg.conv (parse, Locald_local.Backend.pp)
+  in
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Simulator backend: $(b,sync) (direct view extraction) or \
+           $(b,async) (message passing under a seeded adversarial \
+           scheduler). Results are byte-identical either way. Defaults \
+           to $(b,LOCALD_BACKEND), else sync.")
+
+let sched_seed_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sched-seed" ] ~docv:"SEED"
+        ~doc:
+          "Adversarial scheduler seed for the async backend (implies \
+           $(b,--backend async); default $(b,LOCALD_SCHED_SEED), else \
+           0). Results do not depend on this value.")
+
+let fifo_flag =
+  Arg.(
+    value & flag
+    & info [ "fifo" ]
+        ~doc:
+          "Per-link FIFO delivery for the async backend (implies \
+           $(b,--backend async)): the adversary interleaves across \
+           links but preserves each link's send order.")
+
+let apply_backend backend sched_seed fifo =
+  let open Locald_local in
+  let config =
+    let base =
+      match Backend.default () with
+      | Backend.Async c -> c
+      | Backend.Sync -> Async_runner.default_config
+    in
+    let base =
+      match sched_seed with
+      | Some sched_seed -> { base with Async_runner.sched_seed }
+      | None -> base
+    in
+    if fifo then { base with Async_runner.fifo = true } else base
+  in
+  match backend with
+  | Some Backend.Sync -> Backend.set_default Backend.Sync
+  | Some (Backend.Async _) -> Backend.set_default (Backend.Async config)
+  | None ->
+      (* --sched-seed / --fifo alone opt into the async backend; with
+         nothing given the ambient (env) default stands. *)
+      if sched_seed <> None || fifo then
+        Backend.set_default (Backend.Async config)
+
 let print_runtime_stats () =
   let m = Memo.run_stats () in
   let c = Canon.run_stats () in
@@ -96,10 +162,11 @@ let print_runtime_stats () =
 let maybe_stats stats = if stats then print_runtime_stats ()
 
 let run_cmd name doc print driver =
-  let run quick seed jobs memo stats trace =
+  let run quick seed jobs memo stats trace backend sched_seed fifo =
     apply_jobs jobs;
     apply_memo memo;
     apply_trace trace;
+    apply_backend backend sched_seed fifo;
     let rows, wall = Timing.time (fun () -> driver ~quick ?seed ()) in
     print rows;
     Report.print_timings
@@ -116,7 +183,7 @@ let run_cmd name doc print driver =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ quick_flag $ seed_opt $ jobs_opt $ memo_opt $ stats_flag
-      $ trace_opt)
+      $ trace_opt $ backend_opt $ sched_seed_opt $ fifo_flag)
 
 let table1_cmd =
   run_cmd "table1" "Regenerate the Section 1.1 results table." print_table1
@@ -397,10 +464,11 @@ let coverage_cmd =
     Term.(const run $ arity $ r $ t $ jobs_opt)
 
 let all_cmd =
-  let run quick seed jobs memo stats trace speedup =
+  let run quick seed jobs memo stats trace backend sched_seed fifo speedup =
     apply_jobs jobs;
     apply_memo memo;
     apply_trace trace;
+    apply_backend backend sched_seed fifo;
     let timings = ref [] in
     let exp : 'r. string -> ('r -> unit) -> (unit -> 'r) -> unit =
      fun name print driver ->
@@ -457,7 +525,7 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
     Term.(
       const run $ quick_flag $ seed_opt $ jobs_opt $ memo_opt $ stats_flag
-      $ trace_opt $ speedup_flag)
+      $ trace_opt $ backend_opt $ sched_seed_opt $ fifo_flag $ speedup_flag)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -479,7 +547,7 @@ let metrics_cmd =
         fun ~quick ~seed -> print_faults (Experiments.faults ~quick ?seed ()) );
     ]
   in
-  let run name quick seed jobs memo trace =
+  let run name quick seed jobs memo trace backend sched_seed fifo =
     match List.assoc_opt name experiments with
     | None ->
         prerr_endline
@@ -491,6 +559,7 @@ let metrics_cmd =
         apply_jobs jobs;
         apply_memo memo;
         apply_trace trace;
+        apply_backend backend sched_seed fifo;
         Telemetry.set_metrics true;
         Telemetry.new_run ();
         driver ~quick ~seed;
@@ -514,7 +583,7 @@ let metrics_cmd =
           timings). Combine with $(b,--trace) for the full event log.")
     Term.(
       const run $ experiment_arg $ quick_flag $ seed_opt $ jobs_opt $ memo_opt
-      $ trace_opt)
+      $ trace_opt $ backend_opt $ sched_seed_opt $ fifo_flag)
 
 (* ------------------------------------------------------------------ *)
 (* Sharded exhaustive runs                                             *)
@@ -578,10 +647,11 @@ let plan_of ~w ~chunk ~shards =
 
 let shard_cmd =
   let run workload index shards checkpoint resume chunk fsync_every throttle
-      jobs memo stats trace =
+      jobs memo stats trace backend sched_seed fifo =
     apply_jobs jobs;
     apply_memo memo;
     apply_trace trace;
+    apply_backend backend sched_seed fifo;
     let w = lookup_workload workload in
     if shards <= 0 then usage_error "--of must be positive";
     if index < 0 || index >= shards then
@@ -644,7 +714,7 @@ let shard_cmd =
     Term.(
       const run $ workload_opt $ index $ shards $ checkpoint $ resume
       $ chunk_opt $ fsync_opt $ throttle_opt $ jobs_opt $ memo_opt $ stats_flag
-      $ trace_opt)
+      $ trace_opt $ backend_opt $ sched_seed_opt $ fifo_flag)
 
 (* Merge reporting shared by [merge] and [sweep]: print the folded
    result, return the process exit code per the README convention. *)
@@ -806,10 +876,12 @@ let describe_status = function
 
 let sweep_cmd =
   let run workload shards procs dir chunk fsync_every timeout max_retries
-      retry_seed throttle expect_digest json jobs memo trace =
+      retry_seed throttle expect_digest json jobs memo trace backend sched_seed
+      fifo =
     apply_jobs jobs;
     apply_memo memo;
     apply_trace trace;
+    apply_backend backend sched_seed fifo;
     let w = lookup_workload workload in
     if shards <= 0 then usage_error "--of must be positive";
     if procs <= 0 then usage_error "--procs must be positive";
@@ -838,6 +910,19 @@ let sweep_cmd =
         | Some j -> base @ [ "--jobs"; string_of_int j ]
         | None -> base
       in
+      (* Forward the backend selection: shard children must evaluate
+         under the same engine the supervisor was asked for. *)
+      let base =
+        match backend with
+        | Some b -> base @ [ "--backend"; Locald_local.Backend.to_string b ]
+        | None -> base
+      in
+      let base =
+        match sched_seed with
+        | Some s -> base @ [ "--sched-seed"; string_of_int s ]
+        | None -> base
+      in
+      let base = if fifo then base @ [ "--fifo" ] else base in
       Array.of_list base
     in
     let spawn i =
@@ -1012,7 +1097,8 @@ let sweep_cmd =
     Term.(
       const run $ workload_opt $ shards $ procs $ dir $ chunk_opt $ fsync_opt
       $ timeout $ max_retries $ retry_seed $ throttle_opt $ expect_digest_opt
-      $ json_flag $ jobs_opt $ memo_opt $ trace_opt)
+      $ json_flag $ jobs_opt $ memo_opt $ trace_opt $ backend_opt
+      $ sched_seed_opt $ fifo_flag)
 
 let main =
   let doc =

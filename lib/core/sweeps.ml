@@ -33,7 +33,8 @@ let regime = Ids.f_linear_plus 1
    instance is built lazily (the registry itself must stay cheap to
    construct) and shared between geometry, eval and the reference
    run. *)
-let tree_workload ~name ~description ~arity ~r ~apex ~expected ~chunk =
+let tree_workload ?backend ~name ~description ~arity ~r ~apex ~expected ~chunk
+    () =
   let params = { Tree_instances.regime; arity; r } in
   let lg = lazy (Tree_instances.small_instance params ~apex) in
   let alg = Tree_deciders.p_decider params in
@@ -45,7 +46,7 @@ let tree_workload ~name ~description ~arity ~r ~apex ~expected ~chunk =
   let eval () =
     let lg = Lazy.force lg in
     let n = Labelled.order lg in
-    let prep = Runner.prepare ~memo:(Memo.default_mode ()) alg lg in
+    let prep = Runner.prepare ~memo:(Memo.default_mode ()) ?backend alg lg in
     fun ~lo ~hi ->
       let rv =
         Decider.evaluate_exhaustive_range ~prep ~bound:n ~lo ~hi alg ~expected
@@ -60,7 +61,8 @@ let tree_workload ~name ~description ~arity ~r ~apex ~expected ~chunk =
   let unsharded () =
     let lg = Lazy.force lg in
     let n = Labelled.order lg in
-    Decider.evaluate_exhaustive ~bound:n alg ~expected ~instance:name lg
+    Decider.evaluate_exhaustive ?backend ~bound:n alg ~expected ~instance:name
+      lg
   in
   {
     w_name = name;
@@ -82,14 +84,25 @@ let all =
       ~description:
         "P decider over every assignment of H+ (arity 2, r = 2) — the \
          BENCH_quick workload"
-      ~arity:2 ~r:2 ~apex:(0, 1) ~expected:true ~chunk:512;
+      ~arity:2 ~r:2 ~apex:(0, 1) ~expected:true ~chunk:512 ();
     (* A second size for quick sharded smoke runs: the linear (arity
        1) cone, small enough that every shard finishes in
        milliseconds. *)
     tree_workload ~name:"exhaustive-decider-a1"
       ~description:
         "P decider over every assignment of the arity-1, r = 4 cone"
-      ~arity:1 ~r:4 ~apex:(0, 1) ~expected:true ~chunk:64;
+      ~arity:1 ~r:4 ~apex:(0, 1) ~expected:true ~chunk:64 ();
+    (* The same instance and rank space as exhaustive-decider, but the
+       views come from the asynchronous message-passing backend — the
+       merged digest must still equal the committed BENCH_quick pin
+       (the backends are byte-identical), which the sweep smoke in CI
+       asserts. *)
+    tree_workload ~backend:(Backend.Async Async_runner.default_config)
+      ~name:"async-exhaustive"
+      ~description:
+        "exhaustive-decider with views assembled by the async \
+         message-passing backend — pinned to the same digest"
+      ~arity:2 ~r:2 ~apex:(0, 1) ~expected:true ~chunk:512 ();
   ]
 
 let names = List.map (fun w -> w.w_name) all

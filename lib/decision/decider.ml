@@ -1,7 +1,8 @@
 open Locald_local
 open Locald_runtime
 
-let decide alg lg ~ids = Verdict.of_outputs (Runner.run alg lg ~ids)
+let decide ?backend alg lg ~ids =
+  Verdict.of_outputs (Runner.run ?backend alg lg ~ids)
 
 let decide_oblivious ob lg = Verdict.of_outputs (Runner.run_oblivious ob lg)
 
@@ -20,7 +21,7 @@ type evaluation = {
    deciding the whole id space. *)
 let tally_chunk = 512
 
-let tally ?prep ~expected ~instance ~n assignments_seq alg lg =
+let tally ?prep ?backend ~expected ~instance ~n assignments_seq alg lg =
   (* The ball structure is id-independent: extract every view once and
      only re-decorate per assignment (see Runner.prepare). The decide
      itself is memoised per (node, ball restriction) under the session's
@@ -29,7 +30,7 @@ let tally ?prep ~expected ~instance ~n assignments_seq alg lg =
   let prep =
     match prep with
     | Some p -> p
-    | None -> Runner.prepare ~memo:(Memo.default_mode ()) alg lg
+    | None -> Runner.prepare ~memo:(Memo.default_mode ()) ?backend alg lg
   in
   Telemetry.span "decider.tally" @@ fun () ->
   let verdict_of ids = Verdict.of_outputs (Runner.run_prepared prep ~ids) in
@@ -74,13 +75,13 @@ let tally ?prep ~expected ~instance ~n assignments_seq alg lg =
     failure = !failure;
   }
 
-let evaluate ~rng ~regime ~assignments alg ~expected ~instance lg =
+let evaluate ?backend ~rng ~regime ~assignments alg ~expected ~instance lg =
   Telemetry.span "decider.evaluate" @@ fun () ->
   let n = Locald_graph.Labelled.order lg in
   let seq =
     Seq.init assignments (fun _ -> Ids.sample rng regime ~n)
   in
-  tally ~expected ~instance ~n seq alg lg
+  tally ?backend ~expected ~instance ~n seq alg lg
 
 (* Exhaustive evaluation through the ball-local quotient. By the
    locality correspondence a node's output under an assignment depends
@@ -97,10 +98,11 @@ let evaluate ~rng ~regime ~assignments alg ~expected ~instance lg =
    the tallies follow by arithmetic and are byte-identical to the naive
    loop's; any rejection instead falls back transparently to the naive
    loop, whose memo table the scan has already partly warmed. *)
-let evaluate_exhaustive ?(quotient = true) ~bound alg ~expected ~instance lg =
+let evaluate_exhaustive ?(quotient = true) ?backend ~bound alg ~expected
+    ~instance lg =
   Telemetry.span "decider.evaluate_exhaustive" @@ fun () ->
   let n = Locald_graph.Labelled.order lg in
-  let prep = Runner.prepare ~memo:(Memo.default_mode ()) alg lg in
+  let prep = Runner.prepare ~memo:(Memo.default_mode ()) ?backend alg lg in
   let naive () =
     tally ~prep ~expected ~instance ~n
       (Ids.enumerate_injections ~n ~bound)
@@ -176,7 +178,7 @@ type range_evaluation = {
   rv_failure : (int * Ids.t * Verdict.t) option;
 }
 
-let evaluate_exhaustive_range ?prep ~bound ~lo ~hi alg ~expected lg =
+let evaluate_exhaustive_range ?prep ?backend ~bound ~lo ~hi alg ~expected lg =
   Telemetry.span "decider.evaluate_range" @@ fun () ->
   let n = Locald_graph.Labelled.order lg in
   let total = Orbit.perm ~bound ~k:n in
@@ -188,7 +190,7 @@ let evaluate_exhaustive_range ?prep ~bound ~lo ~hi alg ~expected lg =
   let prep =
     match prep with
     | Some p -> p
-    | None -> Runner.prepare ~memo:(Memo.default_mode ()) alg lg
+    | None -> Runner.prepare ~memo:(Memo.default_mode ()) ?backend alg lg
   in
   let verdict_of ids = Verdict.of_outputs (Runner.run_prepared prep ~ids) in
   let correct = ref 0 and wrong = ref 0 and failure = ref None in

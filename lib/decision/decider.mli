@@ -15,12 +15,20 @@
     pre-extracted once per instance ({!Locald_local.Runner.prepare}),
     so results — including the [failure] witness, which is the first
     wrong assignment in stream order — are identical at any job
-    count. *)
+    count, and at any simulator backend (the [?backend] of each entry
+    point, defaulting to the ambient {!Locald_local.Backend.default};
+    the fault-injected entry points below always use the engine their
+    plan semantics are defined over). *)
 
 open Locald_graph
 open Locald_local
 
-val decide : ('a, bool) Algorithm.t -> 'a Labelled.t -> ids:Ids.t -> Verdict.t
+val decide :
+  ?backend:Backend.t ->
+  ('a, bool) Algorithm.t -> 'a Labelled.t -> ids:Ids.t -> Verdict.t
+(** One assignment. [backend] (default {!Backend.default}) selects the
+    simulator — verdicts are backend-independent by the cross-backend
+    pin. *)
 
 val decide_oblivious : ('a, bool) Algorithm.oblivious -> 'a Labelled.t -> Verdict.t
 
@@ -35,6 +43,7 @@ type evaluation = {
 }
 
 val evaluate :
+  ?backend:Backend.t ->
   rng:Random.State.t ->
   regime:Ids.regime ->
   assignments:int ->
@@ -47,6 +56,7 @@ val evaluate :
 
 val evaluate_exhaustive :
   ?quotient:bool ->
+  ?backend:Backend.t ->
   bound:int ->
   ('a, bool) Algorithm.t ->
   expected:bool ->
@@ -76,6 +86,7 @@ type range_evaluation = {
 
 val evaluate_exhaustive_range :
   ?prep:('a, bool) Runner.prepared ->
+  ?backend:Backend.t ->
   bound:int ->
   lo:int ->
   hi:int ->

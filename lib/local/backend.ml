@@ -1,0 +1,56 @@
+type t = Sync | Async of Async_runner.config
+
+let to_string = function Sync -> "sync" | Async _ -> "async"
+
+let of_string ?(config = Async_runner.default_config) s =
+  match String.trim (String.lowercase_ascii s) with
+  | "sync" -> Some Sync
+  | "async" -> Some (Async config)
+  | _ -> None
+
+let truthy s =
+  match String.trim (String.lowercase_ascii s) with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
+
+let env_config () =
+  let sched_seed =
+    match Sys.getenv_opt "LOCALD_SCHED_SEED" with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> 0)
+    | None -> 0
+  in
+  let fifo =
+    match Sys.getenv_opt "LOCALD_SCHED_FIFO" with
+    | Some s -> truthy s
+    | None -> false
+  in
+  { Async_runner.sched_seed; fifo }
+
+(* The session default: LOCALD_BACKEND (with LOCALD_SCHED_SEED and
+   LOCALD_SCHED_FIFO refining the async config), then the synchronous
+   engine. Same idiom as Memo's LOCALD_MEMO default. *)
+let initial () =
+  match Sys.getenv_opt "LOCALD_BACKEND" with
+  | Some s -> (
+      match of_string ~config:(env_config ()) s with
+      | Some b -> b
+      | None -> Sync)
+  | None -> Sync
+
+let default_backend = ref (initial ())
+
+let default () = !default_backend
+
+let set_default b = default_backend := b
+
+let with_default b f =
+  let saved = !default_backend in
+  default_backend := b;
+  Fun.protect ~finally:(fun () -> default_backend := saved) f
+
+let pp ppf b =
+  match b with
+  | Sync -> Format.pp_print_string ppf "sync"
+  | Async { Async_runner.sched_seed; fifo } ->
+      Format.fprintf ppf "async(seed=%d%s)" sched_seed
+        (if fifo then ",fifo" else "")

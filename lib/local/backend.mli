@@ -1,0 +1,38 @@
+(** Simulator backend selection.
+
+    Every engine entry point that has both a synchronous and an
+    asynchronous implementation ({!Runner.run}, {!Runner.prepare}, and
+    everything layered on them) dispatches on a value of this type.
+    The two backends are pinned byte-identical on fault-free inputs
+    (see {!Async_runner} and [test/test_async.ml]), so flipping the
+    backend — per call, per session, or via the environment — must
+    never change a digest.
+
+    The ambient default is read once from the environment
+    ([LOCALD_BACKEND=sync|async], with [LOCALD_SCHED_SEED] and
+    [LOCALD_SCHED_FIFO=1] refining the async scheduler config) and can
+    be overridden programmatically — the [--backend] flag of
+    [bin/locald] does exactly that. *)
+
+type t = Sync | Async of Async_runner.config
+
+val to_string : t -> string
+(** ["sync"] or ["async"] (the config is not serialised). *)
+
+val of_string : ?config:Async_runner.config -> string -> t option
+(** Case- and whitespace-insensitive; [config] (default
+    {!Async_runner.default_config}) fills in the scheduler config when
+    the string selects the async backend. *)
+
+val default : unit -> t
+(** The ambient backend: the last {!set_default}, initially from the
+    environment, else [Sync]. *)
+
+val set_default : t -> unit
+
+val with_default : t -> (unit -> 'a) -> 'a
+(** Run a thunk under a temporary ambient backend, restoring the
+    previous one even on exceptions — what the cross-backend test
+    battery uses. *)
+
+val pp : Format.formatter -> t -> unit

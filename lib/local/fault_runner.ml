@@ -1,20 +1,18 @@
 open Locald_graph
 
-type reason = Crashed | Incomplete_view | Fuel_exhausted | Decide_failed
+type reason = Outcome.reason =
+  | Crashed
+  | Incomplete_view
+  | Fuel_exhausted
+  | Decide_failed
 
-type 'o outcome = Decided of 'o | Unknown of reason
+type 'o outcome = 'o Outcome.t = Decided of 'o | Unknown of reason
 
-let decided = function Decided _ -> true | Unknown _ -> false
+let decided = Outcome.decided
 
-let reason_name = function
-  | Crashed -> "crashed"
-  | Incomplete_view -> "incomplete-view"
-  | Fuel_exhausted -> "fuel-exhausted"
-  | Decide_failed -> "decide-failed"
+let reason_name = Outcome.reason_name
 
-let pp_outcome pp_o ppf = function
-  | Decided o -> pp_o ppf o
-  | Unknown r -> Format.fprintf ppf "unknown(%s)" (reason_name r)
+let pp_outcome = Outcome.pp
 
 type stats = {
   rounds : int;

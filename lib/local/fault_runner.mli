@@ -18,9 +18,16 @@
 
 open Locald_graph
 
-type reason = Crashed | Incomplete_view | Fuel_exhausted | Decide_failed
+type reason = Outcome.reason =
+  | Crashed
+  | Incomplete_view
+  | Fuel_exhausted
+  | Decide_failed
+(** Re-export of {!Outcome.reason}: the type lives in its own module so
+    the asynchronous engine ({!Async_runner}) can share it without
+    depending on this one. *)
 
-type 'o outcome = Decided of 'o | Unknown of reason
+type 'o outcome = 'o Outcome.t = Decided of 'o | Unknown of reason
 
 val decided : 'o outcome -> bool
 val reason_name : reason -> string

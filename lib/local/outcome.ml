@@ -1,0 +1,15 @@
+type reason = Crashed | Incomplete_view | Fuel_exhausted | Decide_failed
+
+type 'o t = Decided of 'o | Unknown of reason
+
+let decided = function Decided _ -> true | Unknown _ -> false
+
+let reason_name = function
+  | Crashed -> "crashed"
+  | Incomplete_view -> "incomplete-view"
+  | Fuel_exhausted -> "fuel-exhausted"
+  | Decide_failed -> "decide-failed"
+
+let pp pp_o ppf = function
+  | Decided o -> pp_o ppf o
+  | Unknown r -> Format.fprintf ppf "unknown(%s)" (reason_name r)

@@ -1,0 +1,19 @@
+(** Three-valued per-node outcomes, shared by every degraded engine.
+
+    A node that cannot answer soundly answers [Unknown] with a reason
+    instead of raising — the graceful-degradation contract introduced
+    with {!Fault_runner} and reused verbatim by the asynchronous
+    backend ({!Async_runner}), so that cross-engine tests can compare
+    outcome arrays directly. [Fault_runner] re-exports these
+    constructors; existing callers keep compiling unchanged. *)
+
+type reason = Crashed | Incomplete_view | Fuel_exhausted | Decide_failed
+
+type 'o t = Decided of 'o | Unknown of reason
+
+val decided : 'o t -> bool
+
+val reason_name : reason -> string
+
+val pp :
+  (Format.formatter -> 'o -> unit) -> Format.formatter -> 'o t -> unit

@@ -14,11 +14,16 @@ let named_decide (alg : ('a, 'o) Algorithm.t) view =
   with View.No_ids msg ->
     raise (View.No_ids (alg.Algorithm.name ^ ": " ^ msg))
 
-let run alg lg ~ids =
-  check_size lg ids;
-  let ids = Ids.to_array ids in
-  Array.init (Labelled.order lg) (fun v ->
-      named_decide alg (View.extract ~ids lg ~center:v ~radius:alg.radius))
+let run ?backend alg lg ~ids =
+  match
+    match backend with Some b -> b | None -> Backend.default ()
+  with
+  | Backend.Async config -> Async_runner.run ~config alg lg ~ids
+  | Backend.Sync ->
+      check_size lg ids;
+      let ids = Ids.to_array ids in
+      Array.init (Labelled.order lg) (fun v ->
+          named_decide alg (View.extract ~ids lg ~center:v ~radius:alg.radius))
 
 (* Pre-extracted balls for the id-quantifying deciders: the ball
    structure of node [v] does not depend on the id assignment, only the
@@ -38,14 +43,23 @@ type ('a, 'o) prepared = {
    tally and the quotient scans are billed in. *)
 let c_decides = Locald_runtime.Telemetry.Counter.make "runner.decides"
 
-let prepare ?(memo = Locald_runtime.Memo.Off) alg lg =
+let prepare ?(memo = Locald_runtime.Memo.Off) ?backend alg lg =
   Locald_runtime.Telemetry.span "runner.prepare" @@ fun () ->
   {
     p_alg = alg;
     p_order = Labelled.order lg;
     p_views =
-      Array.init (Labelled.order lg) (fun v ->
-          View.extract_mapped lg ~center:v ~radius:alg.Algorithm.radius);
+      (* Both backends produce representation-identical (view, back)
+         pairs (pinned by test_async), so everything downstream —
+         re-decoration, memo keys, quotient scans — is agnostic. *)
+      (match
+         match backend with Some b -> b | None -> Backend.default ()
+       with
+      | Backend.Sync ->
+          Array.init (Labelled.order lg) (fun v ->
+              View.extract_mapped lg ~center:v ~radius:alg.Algorithm.radius)
+      | Backend.Async config ->
+          Async_runner.assemble_views ~config ~radius:alg.Algorithm.radius lg);
     p_mode = memo;
     p_memo =
       (match memo with

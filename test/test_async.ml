@@ -1,0 +1,590 @@
+(* Cross-backend battery for the asynchronous message-passing backend:
+   view-level and output-level identity with the synchronous simulator,
+   digest equality over every quick-bench workload and every driver at
+   several scheduler seeds and job counts, the adversarial scheduler's
+   determinism and reordering properties, fault-degradation parity with
+   the synchronous fault engine, and the observational transparency of
+   tracing over the async hot path. *)
+
+open Locald_graph
+open Locald_runtime
+open Locald_local
+open Locald_decision
+open Locald_turing
+open Locald_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let config ?(fifo = false) sched_seed = { Async_runner.sched_seed; fifo }
+
+let rng () = Random.State.make [| 0xa5 |]
+
+(* The same everything-sensitive algorithm the runner and fault tests
+   use: any change to the view representation or the id decoration
+   changes the output. *)
+let fingerprint_algorithm ~radius =
+  Algorithm.make ~name:"fingerprint" ~radius (fun view ->
+      let ids = match View.ids view with Some ids -> ids | None -> [||] in
+      let pairs =
+        Array.to_list (Array.mapi (fun v id -> (id, view.View.labels.(v))) ids)
+      in
+      Hashtbl.hash (List.sort compare pairs, Graph.size view.View.graph))
+
+let test_graphs =
+  [ Gen.cycle 7; Gen.grid 3 4; Gen.complete_binary_tree 3; Gen.star 6;
+    Gen.path 5 ]
+
+let scheduler_configs =
+  [ config 0; config 1; config ~fifo:true 42; config ~fifo:true 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* View-level identity: the protocol assembles the exact views          *)
+(* ------------------------------------------------------------------ *)
+
+(* Not merely isomorphic views — representation-identical (view, ball
+   map) pairs. This is what makes the async [Runner.prepare] a drop-in
+   for the synchronous one: memo keys, quotient scans and digests all
+   read the concrete representation. *)
+let test_assembled_views_identical () =
+  List.iter
+    (fun g ->
+      let lg = Labelled.init g (fun v -> v mod 3) in
+      List.iter
+        (fun radius ->
+          List.iter
+            (fun cfg ->
+              let assembled = Async_runner.assemble_views ~config:cfg ~radius lg in
+              Array.iteri
+                (fun v (view, back) ->
+                  let sview, sback = View.extract_mapped lg ~center:v ~radius in
+                  check bool "view representation identical" true
+                    (View.equal_repr ( = ) view sview);
+                  check (Alcotest.array int) "ball map identical" sback back)
+                assembled)
+            scheduler_configs)
+        [ 0; 1; 2 ])
+    test_graphs
+
+let test_run_outputs_identical () =
+  List.iter
+    (fun g ->
+      let lg = Labelled.init g (fun v -> v mod 4) in
+      let n = Labelled.order lg in
+      let ids = Ids.shuffled (rng ()) n in
+      List.iter
+        (fun radius ->
+          let alg = fingerprint_algorithm ~radius in
+          let expected = Runner.run ~backend:Backend.Sync alg lg ~ids in
+          List.iter
+            (fun cfg ->
+              let got = Async_runner.run ~config:cfg alg lg ~ids in
+              check (Alcotest.array int) "async run = sync run" expected got)
+            scheduler_configs)
+        [ 1; 2 ])
+    test_graphs
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_backend_parsing () =
+  check bool "sync parses" true (Backend.of_string "sync" = Some Backend.Sync);
+  check bool "async parses" true
+    (Backend.of_string " Async " = Some (Backend.Async Async_runner.default_config));
+  check bool "garbage rejected" true (Backend.of_string "quantum" = None);
+  let saved = Backend.default () in
+  let inside =
+    Backend.with_default (Backend.Async (config 9)) (fun () -> Backend.default ())
+  in
+  check bool "with_default installs" true (inside = Backend.Async (config 9));
+  check bool "with_default restores" true (Backend.default () = saved);
+  (try
+     ignore
+       (Backend.with_default (Backend.Async (config 9)) (fun () -> failwith "x"))
+   with Failure _ -> ());
+  check bool "with_default restores on raise" true (Backend.default () = saved)
+
+(* ------------------------------------------------------------------ *)
+(* Digest battery: every quick-bench workload, sync vs async            *)
+(* ------------------------------------------------------------------ *)
+
+let digest x = Digest.to_hex (Digest.string (Marshal.to_string x []))
+let seed = 42
+
+let with_jobs jobs f =
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs 1) f
+
+let regime = Ids.f_linear_plus 1
+let tree_params = { Tree_instances.regime; arity = 2; r = 1 }
+let big_tree = lazy (Tree_instances.big_tree tree_params)
+let gmr_config = { (Gmr.default_config ~r:1) with Gmr.fragment_cap = 100 }
+
+let gmr_instance =
+  lazy
+    (match
+       Gmr.build ~config:gmr_config ~r:1 (Zoo.two_faced ~steps:3 ~real:0 ~fake:1)
+     with
+    | Ok t -> t
+    | Error _ -> assert false)
+
+let certify_summary (report : Locald_analysis.Analysis.report) =
+  let open Locald_analysis.Analysis in
+  digest
+    ( verdict_name report.rep_verdict,
+      report.rep_views,
+      report.rep_events,
+      report.rep_max_depth )
+
+(* The same workloads [bench/main.ml] pins in BENCH_quick.json — the
+   committed sync digests stay authoritative; here each workload only
+   has to agree with itself across backends, seeds and job counts. *)
+let workloads =
+  [
+    ( "f1-coverage",
+      fun () ->
+        let p = { Tree_instances.regime; arity = 2; r = 2 } in
+        let c = Tree_deciders.coverage p ~t:2 in
+        digest
+          ( c.Tree_deciders.covered,
+            c.Tree_deciders.total_views,
+            c.Tree_deciders.uncovered_node ) );
+    ( "exhaustive-decider",
+      fun () ->
+        let p = { Tree_instances.regime; arity = 2; r = 2 } in
+        let lg = Tree_instances.small_instance p ~apex:(0, 1) in
+        let n = Labelled.order lg in
+        let e =
+          Decider.evaluate_exhaustive ~bound:n (Tree_deciders.p_decider p)
+            ~expected:true ~instance:"H+" lg
+        in
+        digest (e.Decider.correct, e.Decider.wrong, e.Decider.assignments) );
+    ("p3-coverage", fun () -> digest (Experiments.p3 ~quick:true ()));
+    ("corollary1", fun () -> digest (Experiments.corollary1 ()));
+    ( "certify-tree",
+      fun () ->
+        certify_summary
+          (Locald_analysis.Analysis.certify
+             (Tree_deciders.p_decider tree_params)
+             ~instances:[ ("T_r", Lazy.force big_tree) ]) );
+    ( "certify-gmr",
+      fun () ->
+        let t = Lazy.force gmr_instance in
+        certify_summary
+          (Locald_analysis.Analysis.certify (Gmr_deciders.ld_decider ())
+             ~instances:[ ("G(M,1)", t.Gmr.lg) ]) );
+  ]
+
+(* >= 8 scheduler seeds per workload, alternating job counts and FIFO
+   modes: the backend, the adversary and the pool must all be
+   observationally inert, separately and combined. *)
+let async_seeds = [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_workload_cross_backend (name, work) () =
+  let baseline = Backend.with_default Backend.Sync (fun () -> with_jobs 1 work) in
+  let sync4 = Backend.with_default Backend.Sync (fun () -> with_jobs 4 work) in
+  check string (name ^ ": sync jobs=4 = sync jobs=1") baseline sync4;
+  List.iter
+    (fun s ->
+      let jobs = if s mod 2 = 0 then 1 else 4 in
+      let cfg = config ~fifo:(s mod 3 = 0) s in
+      let d =
+        Backend.with_default (Backend.Async cfg) (fun () -> with_jobs jobs work)
+      in
+      check string
+        (Printf.sprintf "%s: async seed=%d%s jobs=%d = sync" name s
+           (if cfg.Async_runner.fifo then " fifo" else "")
+           jobs)
+        baseline d)
+    async_seeds
+
+(* ------------------------------------------------------------------ *)
+(* Digest battery: every experiment driver, sync vs async               *)
+(* ------------------------------------------------------------------ *)
+
+let drivers : (string * (unit -> string)) list =
+  [
+    ("table1", fun () -> digest (Experiments.table1 ~quick:true ~seed ()));
+    ("fig1", fun () -> digest (Experiments.fig1 ~quick:true ()));
+    ("fig2", fun () -> digest (Experiments.fig2 ~quick:true ()));
+    ("fig3", fun () -> digest (Experiments.fig3 ~quick:true ()));
+    ("corollary1", fun () -> digest (Experiments.corollary1 ~quick:true ~seed ()));
+    ("p3", fun () -> digest (Experiments.p3 ~quick:true ()));
+    ("fuel_diagonal", fun () -> digest (Experiments.fuel_diagonal ~quick:true ()));
+    ("construction", fun () -> digest (Experiments.construction ~quick:true ~seed ()));
+    ( "order_invariance",
+      fun () -> digest (Experiments.order_invariance ~quick:true ~seed ()) );
+    ("hereditary", fun () -> digest (Experiments.hereditary ~quick:true ~seed ()));
+    ("warmups", fun () -> digest (Experiments.warmups ~quick:true ~seed ()));
+    (* The fault grid always runs on the synchronous fault engine; under
+       an ambient async backend its digest must be untouched. *)
+    ("faults", fun () -> digest (Experiments.faults ~quick:true ~seed ()));
+  ]
+
+let test_driver_cross_backend (name, run) () =
+  let baseline = Backend.with_default Backend.Sync (fun () -> with_jobs 1 run) in
+  List.iter
+    (fun (s, jobs) ->
+      let d =
+        Backend.with_default
+          (Backend.Async (config ~fifo:(s mod 2 = 1) s))
+          (fun () -> with_jobs jobs run)
+      in
+      check string
+        (Printf.sprintf "%s: async seed=%d jobs=%d = sync" name s jobs)
+        baseline d)
+    [ (3, 1); (11, 4) ]
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler properties                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Same seed => the whole observable execution replays: every event in
+   order, every outcome, every meter. *)
+let prop_replay_deterministic =
+  QCheck2.Test.make ~name:"same scheduler seed replays the identical trace"
+    ~count:40
+    QCheck2.Gen.(
+      quad (int_range 3 12) (int_bound 1_000_000) (int_bound 1000) bool)
+    (fun (n, gseed, sched_seed, fifo) ->
+      let rng = Random.State.make [| gseed |] in
+      let g = Gen.random_connected rng ~n ~p:0.3 in
+      let lg = Labelled.init g (fun v -> (v * 7) mod 3) in
+      let ids = Ids.shuffled rng n in
+      let alg = fingerprint_algorithm ~radius:2 in
+      let plan =
+        Faults.make ~seed:gseed ~drop:0.2 ~duplicate:0.1
+          ~crashes:[ (Random.State.int rng n, 1 + Random.State.int rng 2) ]
+          ()
+      in
+      let run () =
+        Async_runner.run_trace ~config:(config ~fifo sched_seed) ~plan alg lg
+          ~ids
+      in
+      let o1, s1, e1 = run () in
+      let o2, s2, e2 = run () in
+      o1 = o2 && s1 = s2 && e1 = e2)
+
+let delivery_order cfg =
+  let lg = Labelled.init (Gen.cycle 3) (fun v -> v) in
+  let ids = Ids.sequential 3 in
+  let _, _, events =
+    Async_runner.run_trace ~config:cfg ~plan:Faults.empty
+      (fingerprint_algorithm ~radius:1) lg ~ids
+  in
+  List.filter_map
+    (function Async_runner.Deliver { uid; _ } -> Some uid | _ -> None)
+    events
+
+(* An adversary that cannot reorder is no adversary: on a triangle,
+   eight seeds must produce at least two genuinely different delivery
+   interleavings (in practice they produce many more). *)
+let test_seeds_explore_interleavings () =
+  let orders = List.map (fun s -> delivery_order (config s)) async_seeds in
+  let distinct =
+    List.fold_left (fun acc o -> if List.mem o acc then acc else o :: acc) []
+      orders
+  in
+  check bool
+    (Printf.sprintf "distinct interleavings (%d/8)" (List.length distinct))
+    true
+    (List.length distinct >= 2);
+  (* ... and each of them is a pure function of the seed. *)
+  List.iteri
+    (fun i o ->
+      check (Alcotest.list int) "seed replays its order" o
+        (delivery_order (config i)))
+    orders
+
+(* FIFO mode: the adversary still interleaves across links, but within
+   one directed link deliveries come in send (uid) order. *)
+let prop_fifo_preserves_link_order =
+  QCheck2.Test.make ~name:"FIFO mode delivers each link in send order"
+    ~count:40
+    QCheck2.Gen.(triple (int_range 3 12) (int_bound 1_000_000) (int_bound 1000))
+    (fun (n, gseed, sched_seed) ->
+      let rng = Random.State.make [| gseed |] in
+      let g = Gen.random_connected rng ~n ~p:0.3 in
+      let lg = Labelled.init g (fun v -> v mod 2) in
+      let ids = Ids.shuffled rng n in
+      let plan = Faults.make ~seed:gseed ~drop:0.15 () in
+      let _, _, events =
+        Async_runner.run_trace ~config:(config ~fifo:true sched_seed) ~plan
+          (fingerprint_algorithm ~radius:2) lg ~ids
+      in
+      let last : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+      List.for_all
+        (function
+          | Async_runner.Deliver { uid; src; dst; _ } ->
+              let ok =
+                match Hashtbl.find_opt last (src, dst) with
+                | Some prev -> prev < uid
+                | None -> true
+              in
+              Hashtbl.replace last (src, dst) uid;
+              ok
+          | _ -> true)
+        events)
+
+(* ------------------------------------------------------------------ *)
+(* Faults under the async engine                                        *)
+(* ------------------------------------------------------------------ *)
+
+let to_verdict_outcome = function
+  | Outcome.Decided b -> Verdict.Outcome.of_bool b
+  | Outcome.Unknown _ -> Verdict.Outcome.Unknown
+
+let degraded_of outcomes =
+  Verdict.of_outcomes (Array.map to_verdict_outcome outcomes)
+
+(* A boolean decider with the same sensitivity as the fingerprint. *)
+let parity_algorithm ~radius =
+  Algorithm.make ~name:"parity" ~radius (fun view ->
+      let ids = match View.ids view with Some ids -> ids | None -> [||] in
+      Array.fold_left ( + ) 0 ids mod 2 = 0)
+
+(* On plans whose degradation is deterministic (everything lost, a
+   pre-send crash, duplicates only, nothing at all) both engines must
+   produce the same three-valued aggregate and the same crashed set —
+   the async engine degrades exactly like the synchronous one. *)
+let test_fault_aggregation_parity () =
+  let scenarios =
+    [
+      ("empty plan", Gen.grid 3 3, Faults.empty);
+      ("total loss", Gen.cycle 6, Faults.make ~drop:1.0 ());
+      ("hub crash", Gen.star 5, Faults.make ~crashes:[ (0, 1) ] ());
+      ("duplicates", Gen.grid 3 3, Faults.make ~seed:5 ~duplicate:1.0 ());
+      ( "crash + retries",
+        Gen.cycle 6,
+        Faults.make ~crashes:[ (2, 1) ] ~retries:1 () );
+    ]
+  in
+  List.iter
+    (fun (label, g, plan) ->
+      let lg = Labelled.init g (fun v -> v mod 2) in
+      let n = Labelled.order lg in
+      let ids = Ids.shuffled (rng ()) n in
+      let alg = parity_algorithm ~radius:1 in
+      let sync_out, _ = Fault_runner.run ~plan alg lg ~ids in
+      List.iter
+        (fun cfg ->
+          let async_out, _ =
+            Async_runner.run_outcomes ~config:cfg ~plan alg lg ~ids
+          in
+          let s = degraded_of sync_out and a = degraded_of async_out in
+          check bool (label ^ ": verdict agrees") true
+            (s.Verdict.verdict = a.Verdict.verdict);
+          check (Alcotest.list int) (label ^ ": unknown set agrees")
+            s.Verdict.unknowns a.Verdict.unknowns;
+          check (Alcotest.array bool) (label ^ ": crashed set agrees")
+            (Array.map
+               (function Outcome.Unknown Outcome.Crashed -> true | _ -> false)
+               sync_out)
+            (Array.map
+               (function Outcome.Unknown Outcome.Crashed -> true | _ -> false)
+               async_out))
+        scheduler_configs)
+    scenarios
+
+(* Crash-stop isolation, stated over the trace: once the Crash event
+   fires, not a single message from that node is delivered — pending
+   ones are withdrawn (purged), not flushed. *)
+let crash_isolated events =
+  let crashed = Hashtbl.create 4 in
+  List.for_all
+    (function
+      | Async_runner.Crash { node; _ } ->
+          Hashtbl.replace crashed node ();
+          true
+      | Async_runner.Deliver { src; _ } -> not (Hashtbl.mem crashed src)
+      | _ -> true)
+    events
+
+let test_crash_never_delivers_after_crash () =
+  (* Crash at the second send opportunity: the first batch is already
+     in flight when the crash fires, so withdrawal is actually
+     exercised (mid-flight, not before-first-send). *)
+  let lg = Labelled.init (Gen.star 5) (fun v -> v mod 2) in
+  let ids = Ids.sequential (Labelled.order lg) in
+  let plan = Faults.make ~crashes:[ (0, 2) ] () in
+  List.iter
+    (fun cfg ->
+      let _, stats, events =
+        Async_runner.run_trace ~config:cfg ~plan
+          (fingerprint_algorithm ~radius:2) lg ~ids
+      in
+      check bool "no delivery from a crashed node" true (crash_isolated events);
+      check bool "the crash actually fired" true
+        (List.exists
+           (function Async_runner.Crash { node = 0; _ } -> true | _ -> false)
+           events);
+      check bool "withdrawal exercised" true (stats.Async_runner.purged > 0))
+    scheduler_configs
+
+let prop_crash_isolation =
+  QCheck2.Test.make ~name:"a crashed node never delivers after its crash"
+    ~count:40
+    QCheck2.Gen.(triple (int_range 3 12) (int_bound 1_000_000) (int_bound 1000))
+    (fun (n, gseed, sched_seed) ->
+      let rng = Random.State.make [| gseed |] in
+      let g = Gen.random_connected rng ~n ~p:0.3 in
+      let lg = Labelled.init g (fun v -> v mod 3) in
+      let ids = Ids.shuffled rng n in
+      let plan =
+        Faults.make ~seed:gseed ~drop:0.1
+          ~crashes:[ (Random.State.int rng n, 1 + Random.State.int rng 3) ]
+          ()
+      in
+      let _, _, events =
+        Async_runner.run_trace
+          ~config:(config ~fifo:(gseed mod 2 = 0) sched_seed)
+          ~plan
+          (fingerprint_algorithm ~radius:2)
+          lg ~ids
+      in
+      crash_isolated events)
+
+(* Same soundness contract as the synchronous fault engine: whatever a
+   fault plan and an adversarial schedule do, a Decided output equals
+   the fault-free output. *)
+let prop_async_decided_outputs_sound =
+  QCheck2.Test.make
+    ~name:"async Decided outputs equal the fault-free outputs" ~count:60
+    QCheck2.Gen.(
+      quad (int_range 3 14) (int_bound 1_000_000) (int_bound 1000) (int_bound 2))
+    (fun (n, gseed, sched_seed, radius) ->
+      let rng = Random.State.make [| gseed |] in
+      let g = Gen.random_connected rng ~n ~p:0.3 in
+      let lg = Labelled.init g (fun v -> (v * 5) mod 3) in
+      let ids = Ids.shuffled rng n in
+      let alg = fingerprint_algorithm ~radius in
+      let expected = Runner.run ~backend:Backend.Sync alg lg ~ids in
+      let plan =
+        Faults.make ~seed:gseed ~drop:0.25 ~duplicate:0.1
+          ~crashes:[ (Random.State.int rng n, 1 + Random.State.int rng 2) ]
+          ~retries:(Random.State.int rng 2) ()
+      in
+      let outcomes, _ =
+        Async_runner.run_outcomes
+          ~config:(config ~fifo:(gseed mod 2 = 1) sched_seed)
+          ~plan alg lg ~ids
+      in
+      Array.for_all2
+        (fun o e ->
+          match o with Outcome.Decided d -> d = e | Outcome.Unknown _ -> true)
+        outcomes expected)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry transparency on the async hot path                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The sched.step span sits inside the scheduler's innermost loop: with
+   tracing off it must be a no-op (same digest), with tracing on it
+   must actually appear in the sink. *)
+let test_trace_transparent () =
+  let _, work = List.nth workloads 1 (* exhaustive-decider *) in
+  let backend = Backend.Async (config 5) in
+  let plain = Backend.with_default backend work in
+  let path = Filename.temp_file "locald_async_trace" ".jsonl" in
+  let traced =
+    Backend.with_default backend (fun () ->
+        Telemetry.open_sink path;
+        Fun.protect ~finally:(fun () -> Telemetry.close_sink ()) work)
+  in
+  let ic = open_in path in
+  let saw_sched = ref false in
+  (try
+     while true do
+       let line = input_line ic in
+       let is_sub i =
+         i + 10 <= String.length line && String.sub line i 10 = "sched.step"
+       in
+       for i = 0 to String.length line - 10 do
+         if is_sub i then saw_sched := true
+       done
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  check string "digest with tracing = digest without" plain traced;
+  check bool "sched.step spans reached the sink" true !saw_sched
+
+(* ------------------------------------------------------------------ *)
+(* The prepare hoist holds on the async path too                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_async_prepare_extraction_pin () =
+  let p = { Tree_instances.regime; arity = 2; r = 1 } in
+  let lg = Tree_instances.small_instance p ~apex:(0, 1) in
+  let n = Labelled.order lg in
+  let alg = Tree_deciders.p_decider p in
+  let before = View.extraction_count () in
+  let prep = Runner.prepare ~backend:(Backend.Async (config 3)) alg lg in
+  let after_prepare = View.extraction_count () in
+  check int "async prepare extracts once per node" n (after_prepare - before);
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 10 do
+    let ids = Ids.sample rng regime ~n in
+    let fast = Runner.run_prepared prep ~ids in
+    let slow = Runner.run ~backend:Backend.Sync alg lg ~ids in
+    check (Alcotest.array bool) "async-prepared = sync run" slow fast
+  done;
+  (* The 10 assignments cost 10 * n extractions on the direct sync
+     comparison path and none on the async-prepared path. *)
+  check int "per-assignment work extracts no views" (10 * n)
+    (View.extraction_count () - after_prepare)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "async"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "assembled views = extracted views" `Quick
+            test_assembled_views_identical;
+          Alcotest.test_case "run outputs = sync outputs" `Quick
+            test_run_outputs_identical;
+          Alcotest.test_case "backend parsing and scoping" `Quick
+            test_backend_parsing;
+          Alcotest.test_case "prepare hoist pins" `Quick
+            test_async_prepare_extraction_pin;
+        ] );
+      ( "battery-workloads",
+        List.map
+          (fun ((name, _) as w) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s byte-identical across backends" name)
+              `Quick (test_workload_cross_backend w))
+          workloads );
+      ( "battery-drivers",
+        List.map
+          (fun ((name, _) as d) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s byte-identical across backends" name)
+              `Quick (test_driver_cross_backend d))
+          drivers );
+      ( "scheduler",
+        [
+          QCheck_alcotest.to_alcotest prop_replay_deterministic;
+          Alcotest.test_case "seeds explore interleavings" `Quick
+            test_seeds_explore_interleavings;
+          QCheck_alcotest.to_alcotest prop_fifo_preserves_link_order;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "degraded aggregation parity" `Quick
+            test_fault_aggregation_parity;
+          Alcotest.test_case "mid-flight crash-stop isolation" `Quick
+            test_crash_never_delivers_after_crash;
+          QCheck_alcotest.to_alcotest prop_crash_isolation;
+          QCheck_alcotest.to_alcotest prop_async_decided_outputs_sound;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "tracing is observationally inert" `Quick
+            test_trace_transparent;
+        ] );
+    ]
