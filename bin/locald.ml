@@ -329,42 +329,214 @@ let certify_cmd =
       const run $ all_flag $ quick_flag $ jobs_opt $ memo_opt $ stats_flag
       $ trace_opt)
 
+(* Both scanners cover the whole tree by default: library, bench and
+   CLI code plus the tests (test-only idioms go through --allow-test,
+   not through a blind spot). *)
+let default_scan_roots = [ "lib"; "bench"; "bin"; "test" ]
+
+let scan_roots_arg cmd roots =
+  let roots = if roots = [] then default_scan_roots else roots in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    prerr_endline
+      ("locald " ^ cmd ^ ": no such path: " ^ String.concat ", " missing);
+    exit Shard.Exit.usage
+  end;
+  roots
+
+(* Parse --rule / --allow-test rule names, failing with the usage exit
+   code (and the known-rule list) on a typo. *)
+let parse_rule_names cmd names =
+  List.map
+    (fun n ->
+      match Locald_analysis.Ast_rules.of_name n with
+      | Some r -> r
+      | None ->
+          prerr_endline
+            (Printf.sprintf "locald %s: unknown rule %S (known: %s)" cmd n
+               (String.concat ", "
+                  (List.map Locald_analysis.Ast_rules.name
+                     Locald_analysis.Ast_rules.all)));
+          exit Shard.Exit.usage)
+    names
+
+let allow_test_opt =
+  Arg.(
+    value & opt_all string []
+    & info [ "allow-test" ] ~docv:"RULE"
+        ~doc:
+          "Permit rule $(docv) in files under test/ (repeatable) — the \
+           knob for deliberately-hostile test fixtures. Findings \
+           elsewhere are unaffected.")
+
+let findings_json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit findings as JSON objects, one per line (file, line, col, \
+           rule, severity, engine, excerpt, help).")
+
 let lint_cmd =
-  let run roots =
-    let roots = if roots = [] then [ "lib" ] else roots in
-    let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
-    if missing <> [] then begin
-      prerr_endline ("locald lint: no such path: " ^ String.concat ", " missing);
-      exit Shard.Exit.usage
-    end;
-    let findings = Locald_analysis.Lint.scan_tree ~roots in
-    List.iter
-      (fun f ->
-        print_endline
-          (Format.asprintf "%a" Locald_analysis.Lint.pp_finding f))
-      findings;
+  let run roots json allow_test =
+    let roots = scan_roots_arg "lint" roots in
+    let test_allow = parse_rule_names "lint" allow_test in
+    let findings =
+      Locald_analysis.Lint.scan_tree ~roots
+      |> List.filter (fun (f : Locald_analysis.Lint.finding) ->
+             not
+               (Locald_analysis.Ast_lint.under_test f.f_file
+               && List.mem
+                    (Locald_analysis.Ast_rules.of_lexical f.f_rule)
+                    test_allow))
+    in
+    if json then
+      List.iter
+        (fun f ->
+          print_endline
+            (Telemetry.Json.to_string
+               (Locald_analysis.Ast_lint.finding_json
+                  (Locald_analysis.Ast_lint.of_lexical f))))
+        findings
+    else
+      List.iter
+        (fun f ->
+          print_endline
+            (Format.asprintf "%a" Locald_analysis.Lint.pp_finding f))
+        findings;
     match findings with
     | [] ->
-        Printf.printf "lint: clean (%s)\n" (String.concat " " roots)
+        if not json then
+          Printf.printf "lint: clean (%s)\n" (String.concat " " roots)
     | fs ->
-        Printf.printf "lint: %d finding(s)\n" (List.length fs);
+        if not json then Printf.printf "lint: %d finding(s)\n" (List.length fs);
         exit Shard.Exit.mismatch
   in
   let roots =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"PATH"
-          ~doc:"Files or directories to scan (default: lib).")
+          ~doc:"Files or directories to scan (default: lib bench bin test).")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Fast source-level checks: polymorphic compare/hash on graph \
+         "Fast lexical source checks: polymorphic compare/hash on graph \
           structures, naked .ids field access outside lib/graph and \
           lib/analysis, Random.self_init, raw polymorphic key functions \
           on decide-once memo tables outside lib/runtime. Non-zero exit \
-          on findings.")
-    Term.(const run $ roots)
+          on findings. Deprecation window: prefer $(b,locald analyze), \
+          which grounds the same rules in the parsed AST and adds the \
+          race/nondeterminism/exception-safety families; lint remains \
+          the fallback for sources the parser rejects.")
+    Term.(const run $ roots $ findings_json_flag $ allow_test_opt)
+
+let analyze_cmd =
+  let module A = Locald_analysis.Ast_lint in
+  let module R = Locald_analysis.Ast_rules in
+  let run roots json sarif rule_names allow_test baseline write_baseline =
+    let roots = scan_roots_arg "analyze" roots in
+    let rules =
+      match rule_names with
+      | [] -> None
+      | l -> Some (parse_rule_names "analyze" l)
+    in
+    let test_allow = parse_rule_names "analyze" allow_test in
+    let findings = A.scan_tree ?rules ~test_allow roots in
+    match write_baseline with
+    | Some path ->
+        A.Baseline.write path findings;
+        Printf.printf "analyze: wrote %d baseline entr%s to %s\n"
+          (List.length findings)
+          (if List.length findings = 1 then "y" else "ies")
+          path
+    | None -> (
+        let entries =
+          match baseline with
+          | None -> []
+          | Some path -> (
+              try A.Baseline.load path
+              with Failure msg | Sys_error msg ->
+                prerr_endline ("locald analyze: bad baseline: " ^ msg);
+                exit Shard.Exit.usage)
+        in
+        let fresh = A.Baseline.subtract entries findings in
+        let baselined = List.length findings - List.length fresh in
+        if sarif then
+          print_endline (Telemetry.Json.to_string (A.sarif fresh))
+        else if json then
+          List.iter
+            (fun f ->
+              print_endline (Telemetry.Json.to_string (A.finding_json f)))
+            fresh
+        else begin
+          List.iter
+            (fun f -> print_endline (Format.asprintf "%a" A.pp_finding f))
+            fresh;
+          let suffix =
+            if baselined > 0 then Printf.sprintf ", %d baselined" baselined
+            else ""
+          in
+          if fresh = [] then
+            Printf.printf "analyze: clean (%s)%s\n" (String.concat " " roots)
+              suffix
+          else
+            Printf.printf "analyze: %d finding(s)%s\n" (List.length fresh)
+              suffix
+        end;
+        (* Unified exit codes: 0 clean, 2 findings, 124 usage. *)
+        if fresh <> [] then exit Shard.Exit.incomplete)
+  in
+  let roots =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Files or directories to analyse (default: lib bench bin test).")
+  in
+  let sarif_flag =
+    Arg.(
+      value & flag
+      & info [ "sarif" ]
+          ~doc:"Emit a SARIF 2.1.0 log on stdout (for code-scanning upload).")
+  in
+  let rule_opt =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:"Run only rule $(docv) (repeatable; default: all rules).")
+  in
+  let baseline_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Subtract the accepted findings in $(docv) (JSONL of \
+             file/rule/excerpt; line-drift tolerant) before reporting \
+             and gating.")
+  in
+  let write_baseline_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Write every current finding to $(docv) as a baseline and \
+             exit 0 (acceptance, not a gate).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "AST-grounded static analysis: parses every .ml/.mli with the \
+          compiler's parser and checks scope-resolved rules — the four \
+          lint rules plus domain-race captures, nondeterminism sources \
+          (global Random, raw clocks, Hashtbl iteration feeding \
+          digests) and checkpoint exception-safety. Exit 0 clean, 2 on \
+          findings, 124 on usage errors. Files the parser rejects fall \
+          back to the lexical lint rules.")
+    Term.(
+      const run $ roots $ findings_json_flag $ sarif_flag $ rule_opt
+      $ allow_test_opt $ baseline_opt $ write_baseline_opt)
 
 (* ------------------------------------------------------------------ *)
 (* Inspection subcommands                                              *)
@@ -929,7 +1101,9 @@ let sweep_cmd =
       let argv = child_argv i in
       Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
     in
-    let now () = Unix.gettimeofday () in
+    (* Deadlines are durations, not calendar stamps: the monotonic
+       clock is immune to NTP steps mid-sweep. *)
+    let now () = Timing.now () in
     let deadline_from t =
       match timeout with None -> infinity | Some s -> t +. s
     in
@@ -1110,7 +1284,8 @@ let main =
     [
       table1_cmd; fig1_cmd; fig2_cmd; fig3_cmd; corollary1_cmd; p3_cmd;
       diagonal_cmd; oi_cmd; hereditary_cmd; construction_cmd; warmups_cmd;
-      faults_cmd; certify_cmd; lint_cmd; gmr_cmd; coverage_cmd; metrics_cmd;
+      faults_cmd; certify_cmd; lint_cmd; analyze_cmd; gmr_cmd; coverage_cmd;
+      metrics_cmd;
       shard_cmd; merge_cmd; sweep_cmd; all_cmd;
     ]
 

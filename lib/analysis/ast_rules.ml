@@ -1,0 +1,82 @@
+type rule =
+  | Poly_compare
+  | Naked_ids_access
+  | Self_init
+  | Decorated_key
+  | Domain_race
+  | Nondet_random
+  | Nondet_clock
+  | Hashtbl_order
+  | Checkpoint_guard
+
+type severity = Error | Warning
+
+let all =
+  [
+    Poly_compare; Naked_ids_access; Self_init; Decorated_key; Domain_race;
+    Nondet_random; Nondet_clock; Hashtbl_order; Checkpoint_guard;
+  ]
+
+let name = function
+  | Poly_compare -> "poly-compare"
+  | Naked_ids_access -> "naked-ids-access"
+  | Self_init -> "self-init"
+  | Decorated_key -> "decorated-key"
+  | Domain_race -> "domain-race"
+  | Nondet_random -> "nondet-random"
+  | Nondet_clock -> "nondet-clock"
+  | Hashtbl_order -> "hashtbl-order"
+  | Checkpoint_guard -> "checkpoint-guard"
+
+let of_name s = List.find_opt (fun r -> name r = s) all
+
+let severity = function
+  | Hashtbl_order | Checkpoint_guard -> Warning
+  | Poly_compare | Naked_ids_access | Self_init | Decorated_key | Domain_race
+  | Nondet_random | Nondet_clock ->
+      Error
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let help = function
+  | Poly_compare | Naked_ids_access | Self_init | Decorated_key as r ->
+      (* The ported rules keep the lexical help text — same contract,
+         sturdier detection. *)
+      Lint.rule_help
+        (match r with
+        | Poly_compare -> Lint.Poly_compare
+        | Naked_ids_access -> Lint.Naked_ids_access
+        | Self_init -> Lint.Self_init
+        | _ -> Lint.Decorated_key)
+  | Domain_race ->
+      "module-toplevel mutable state captured in a closure passed to \
+       Pool.map/Domain.spawn; mediate with Atomic, Mutex.protect or \
+       Domain-local state, or thread the state through the fan-out"
+  | Nondet_random ->
+      "global-state Random operation; thread an explicit seeded \
+       Random.State instead"
+  | Nondet_clock ->
+      "raw wall-clock read; use Timing.now (monotonic durations) or \
+       Timing.wall (calendar stamps) from lib/runtime/timing.ml"
+  | Hashtbl_order ->
+      "Hashtbl iteration feeding a digest or checkpoint record leaks \
+       unspecified table order into a pinned result; fold into a \
+       sorted list first"
+  | Checkpoint_guard ->
+      "work between Checkpoint open and close is not exception-safe; \
+       wrap it in Fun.protect ~finally:(fun () -> Checkpoint.close w)"
+
+let lexical = function
+  | Poly_compare -> Some Lint.Poly_compare
+  | Naked_ids_access -> Some Lint.Naked_ids_access
+  | Self_init -> Some Lint.Self_init
+  | Decorated_key -> Some Lint.Decorated_key
+  | Domain_race | Nondet_random | Nondet_clock | Hashtbl_order
+  | Checkpoint_guard ->
+      None
+
+let of_lexical = function
+  | Lint.Poly_compare -> Poly_compare
+  | Lint.Naked_ids_access -> Naked_ids_access
+  | Lint.Self_init -> Self_init
+  | Lint.Decorated_key -> Decorated_key

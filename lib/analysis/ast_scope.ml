@@ -1,0 +1,75 @@
+type t = {
+  opens : string list list;
+      (* canonical paths of opened modules, innermost first *)
+  modules : (string * string list option) list;
+      (* module aliases; [None] marks a local definition that shadows *)
+  values : string list;  (* value names shadowed by local bindings *)
+}
+
+let initial = { opens = []; modules = []; values = [] }
+
+let is_library_wrapper m =
+  String.length m > 7 && String.sub m 0 7 = "Locald_"
+
+let rec canonical = function
+  | "Stdlib" :: rest -> canonical rest
+  | m :: rest when is_library_wrapper m -> canonical rest
+  | path -> path
+
+let open_module t path = { t with opens = canonical path :: t.opens }
+
+let bind_module t ~name ~alias =
+  let alias = Option.map canonical alias in
+  { t with modules = (name, alias) :: t.modules }
+
+let bind_value t name = { t with values = name :: t.values }
+
+let rec pattern_vars acc (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (q, { txt; _ }) -> pattern_vars (txt :: acc) q
+  | Ppat_tuple ps | Ppat_array ps ->
+      List.fold_left pattern_vars acc ps
+  | Ppat_construct (_, Some (_, q))
+  | Ppat_variant (_, Some q)
+  | Ppat_constraint (q, _)
+  | Ppat_lazy q
+  | Ppat_exception q
+  | Ppat_open (_, q) ->
+      pattern_vars acc q
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, q) -> pattern_vars acc q) acc fields
+  | Ppat_or (a, b) -> pattern_vars (pattern_vars acc a) b
+  | _ -> acc
+
+let bind_pattern t p =
+  { t with values = pattern_vars [] p @ t.values }
+
+(* Longident.flatten raises on applicative paths (F(X).t); the rules
+   never target those, so treat them as unresolvable. *)
+let flatten lid =
+  let rec go acc = function
+    | Longident.Lident s -> Some (s :: acc)
+    | Longident.Ldot (p, s) -> go (s :: acc) p
+    | Longident.Lapply _ -> None
+  in
+  go [] lid
+
+let resolve t lid =
+  match flatten lid with
+  | None | Some [] -> []
+  | Some [ x ] ->
+      if List.mem x t.values then []
+      else [ x ] :: List.map (fun p -> p @ [ x ]) t.opens
+  | Some (m :: rest as comps) -> (
+      match List.assoc_opt m t.modules with
+      | Some None -> []  (* a local module shadows the canonical one *)
+      | Some (Some p) -> [ canonical (p @ rest) ]
+      | None ->
+          (* As written, plus the reading through each open in scope
+             (open Locald_runtime; Memo.create). *)
+          canonical comps
+          :: List.map (fun p -> canonical (p @ comps)) t.opens)
+
+let matches t lid target =
+  List.exists (fun c -> c = target) (resolve t lid)

@@ -1,0 +1,61 @@
+(** Open/alias-aware name resolution for the AST analysis engine.
+
+    The Parsetree carries names {e as written}; a rule that matches the
+    literal path ["Hashtbl.hash"] would miss [let open Hashtbl in hash]
+    and falsely fire on a locally shadowed [Random]. This module keeps
+    the small amount of scope the rules need — opened modules, module
+    aliases, and value bindings that shadow bare names — and resolves a
+    {!Longident.t} to the set of {e canonical} dotted paths it could
+    denote.
+
+    Resolution is an over-approximation by design (we have no module
+    signatures, so [open Hashtbl] makes {e every} bare name a candidate
+    member of [Hashtbl]); rules only ever ask whether a specific banned
+    path is among the candidates, so the over-approximation errs
+    towards reporting. Shadowing errs the other way: a value or module
+    binding of the same name removes the canonical reading entirely.
+
+    Canonical paths are normalised: a leading [Stdlib] is dropped
+    ([Stdlib.Hashtbl.hash] = [Hashtbl.hash]), as is any leading
+    [Locald_*] library wrapper ([Locald_runtime.Memo.create] =
+    [Memo.create]). *)
+
+type t
+
+val initial : t
+(** File scope: nothing opened, nothing shadowed. *)
+
+val open_module : t -> string list -> t
+(** [open_module t path] records [open P] — bare names and qualified
+    heads gain [P.]-prefixed candidates. Innermost opens win no
+    priority; all are candidates. *)
+
+val bind_module : t -> name:string -> alias:string list option -> t
+(** [bind_module t ~name ~alias] records [module N = P]
+    ([alias = Some p], making [N.x] resolve through [p]) or a local
+    module definition [module N = struct .. end] ([alias = None],
+    which {e shadows} any canonical module named [N]). *)
+
+val bind_value : t -> string -> t
+(** Shadow a bare value name: [resolve] no longer offers canonical
+    readings for it. *)
+
+val bind_pattern : t -> Parsetree.pattern -> t
+(** {!bind_value} every variable the pattern binds. *)
+
+val resolve : t -> Longident.t -> string list list
+(** All canonical candidate paths for an identifier as written, each
+    as its component list. Empty when the name is locally shadowed (or
+    is an applicative path, which the rules never target). *)
+
+val matches : t -> Longident.t -> string list -> bool
+(** [matches t lid target]: could [lid] denote canonical path
+    [target]? *)
+
+val canonical : string list -> string list
+(** The normalisation applied to every candidate (drop leading
+    [Stdlib] and [Locald_*] components). Exposed for tests. *)
+
+val flatten : Longident.t -> string list option
+(** Components of a dotted identifier as written; [None] for
+    applicative paths ([F(X).t]), which no rule targets. *)

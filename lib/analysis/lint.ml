@@ -347,9 +347,8 @@ let rec collect acc path =
   else if source_file path then path :: acc
   else acc
 
-let scan_tree ~roots =
-  let files = List.fold_left collect [] roots |> List.rev in
-  List.concat_map scan_file files
+let source_files ~roots = List.fold_left collect [] roots |> List.rev
+let scan_tree ~roots = List.concat_map scan_file (source_files ~roots)
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d: [%s] %s" f.f_file f.f_line (rule_name f.f_rule)

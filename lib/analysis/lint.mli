@@ -69,3 +69,28 @@ val scan_tree : roots:string list -> finding list
 
 val pp_finding : Format.formatter -> finding -> unit
 (** [file:line: [rule] excerpt] — one line, editor-clickable. *)
+
+(** {1 Shared infrastructure}
+
+    The path policies, tree walk and allow marker are also the law for
+    the AST engine ({!Ast_lint}), which must agree with the lexical
+    scanner about where representation access is a module's own
+    business and which files are sources. *)
+
+val ids_allowed_for : string -> bool
+(** [.ids] access is the module's own business under [lib/graph] and
+    [lib/analysis]. *)
+
+val decorated_allowed_for : string -> bool
+(** Raw key functions are allowed under [lib/runtime], which owns the
+    mediated key contract. *)
+
+val allow_marker : string
+(** A raw source line containing this marker is exempt from all rules
+    (lexical and AST). *)
+
+val read_file : string -> string
+
+val source_files : roots:string list -> string list
+(** Every [.ml]/[.mli] under the roots (skipping [_build], [.git],
+    [_opam]), in sorted path order — the file set both engines scan. *)

@@ -74,6 +74,155 @@ let tree_workload ?backend ~name ~description ~arity ~r ~apex ~expected ~chunk
     w_unsharded = unsharded;
   }
 
+(* A Monte-Carlo curve workload: ranks are coin seeds, not id
+   assignments. Rank [k] runs the Corollary 1 randomised decider with
+   the seeded stream [Random.State.make [| k |]] on a fixed instance;
+   correct means the verdict matched the instance's membership. On a
+   no-instance the wrong count over [0 .. total) is the decider's
+   (deterministic) empirical one-sided error, and the first
+   wrongly-accepting seed is the workload's first-failure rank — so
+   merge/resume consistency is exercised on a workload whose failures
+   are real, not seeded corruption. *)
+(* Same fragment cap as the bench's G(M,1) instance: keeps the
+   construction a few hundred nodes, so the reference unsharded runs
+   the digest-pin tests perform stay fast. *)
+let gmr_config = { (Gmr.default_config ~r:1) with Gmr.fragment_cap = 100 }
+
+let corollary1_workload ~name ~description ~machine ~expected ~total ~chunk ()
+    =
+  let built =
+    lazy
+      (match Gmr.build ~config:gmr_config ~r:1 machine with
+      | Ok t -> t
+      | Error _ ->
+          invalid_arg ("sweeps: unbuildable G(M,1) for workload " ^ name))
+  in
+  let geometry () =
+    let t = Lazy.force built in
+    (* The "bound" of a seed-ranked workload is its seed space. *)
+    { g_n = Gmr.order t; g_bound = total; g_total = total }
+  in
+  let verdict_at fast k =
+    Verdict.accepts (Gmr_deciders.Fast.corollary1 fast (Random.State.make [| k |]))
+  in
+  let eval () =
+    let t = Lazy.force built in
+    let fast = Gmr_deciders.Fast.prepare t.Gmr.lg in
+    fun ~lo ~hi ->
+      let correct = ref 0 and wrong = ref 0 and fail = ref None in
+      for k = lo to hi - 1 do
+        if verdict_at fast k = expected then incr correct
+        else begin
+          incr wrong;
+          if !fail = None then fail := Some k
+        end
+      done;
+      { Shard.r_correct = !correct; r_wrong = !wrong; r_fail = !fail }
+  in
+  let unsharded () =
+    let t = Lazy.force built in
+    let fast = Gmr_deciders.Fast.prepare t.Gmr.lg in
+    let correct = ref 0 and wrong = ref 0 in
+    for k = 0 to total - 1 do
+      if verdict_at fast k = expected then incr correct else incr wrong
+    done;
+    {
+      Decider.instance = name;
+      n = Gmr.order t;
+      expected;
+      assignments = total;
+      correct = !correct;
+      wrong = !wrong;
+      failure = None;
+    }
+  in
+  {
+    w_name = name;
+    w_description = description;
+    w_expected = expected;
+    w_chunk = chunk;
+    w_geometry = geometry;
+    w_eval = eval;
+    w_unsharded = unsharded;
+  }
+
+(* A provenance-certification sweep: ranks are the nodes of a
+   yes-instance G(M,1), and rank [v] traces the Theorem 2 LD decider
+   on node [v]'s view under the access monitor (sequential assignment
+   [0 .. n-1], as in {!Locald_analysis.certify}). Correct means the
+   node accepted {e and} the trace witnessed an input-identifier read
+   — the decider's declared Id-dependence, certified node by node. *)
+let certify_gmr_workload ~name ~description ~machine ~chunk () =
+  let built =
+    lazy
+      (match Gmr.build ~config:gmr_config ~r:1 machine with
+      | Ok t -> t
+      | Error _ ->
+          invalid_arg ("sweeps: unbuildable G(M,1) for workload " ^ name))
+  in
+  let geometry () =
+    let t = Lazy.force built in
+    let n = Gmr.order t in
+    { g_n = n; g_bound = n; g_total = n }
+  in
+  let node_ok lg ids ~radius decide v =
+    let view = View.extract ~ids lg ~center:v ~radius in
+    let input = match View.ids view with Some a -> a | None -> [||] in
+    let out, tr =
+      Locald_analysis.Trace.run ~input_ids:(fun a -> a == input) decide view
+    in
+    out && Locald_analysis.Trace.reads_input_ids tr
+  in
+  let eval () =
+    let t = Lazy.force built in
+    let lg = t.Gmr.lg in
+    let n = Gmr.order t in
+    let ids = Array.init n (fun i -> i) in
+    let alg = Gmr_deciders.ld_decider () in
+    fun ~lo ~hi ->
+      let correct = ref 0 and wrong = ref 0 and fail = ref None in
+      for v = lo to hi - 1 do
+        if node_ok lg ids ~radius:alg.Algorithm.radius alg.Algorithm.decide v
+        then incr correct
+        else begin
+          incr wrong;
+          if !fail = None then fail := Some v
+        end
+      done;
+      { Shard.r_correct = !correct; r_wrong = !wrong; r_fail = !fail }
+  in
+  let unsharded () =
+    let t = Lazy.force built in
+    let lg = t.Gmr.lg in
+    let n = Gmr.order t in
+    let ids = Array.init n (fun i -> i) in
+    let alg = Gmr_deciders.ld_decider () in
+    let correct = ref 0 and wrong = ref 0 in
+    for v = 0 to n - 1 do
+      if node_ok lg ids ~radius:alg.Algorithm.radius alg.Algorithm.decide v
+      then incr correct
+      else incr wrong
+    done;
+    {
+      Decider.instance = name;
+      n;
+      expected = true;
+      assignments = n;
+      correct = !correct;
+      wrong = !wrong;
+      failure = None;
+    }
+  in
+  {
+    w_name = name;
+    w_description = description;
+    w_expected = true;
+    w_chunk = chunk;
+    w_geometry = geometry;
+    w_eval = eval;
+    w_unsharded = unsharded;
+  }
+
 let all =
   [
     (* The bench workload of the same name: H+ (arity 2, r = 2, apex
@@ -103,6 +252,26 @@ let all =
         "exhaustive-decider with views assembled by the async \
          message-passing backend — pinned to the same digest"
       ~arity:2 ~r:2 ~apex:(0, 1) ~expected:true ~chunk:512 ();
+    (* ROADMAP item 4 remainder: sweeps beyond exhaustive-decider. The
+       Corollary 1 curve shards the seed space of the randomised
+       decider on a no-instance (wrong = its one-sided error); the
+       certify sweep shards per-node provenance certification of the
+       Theorem 2 decider on a yes-instance. Both digests are pinned in
+       test_shard.ml. *)
+    corollary1_workload ~name:"corollary1-curve"
+      ~description:
+        "Corollary 1 randomised decider over 2048 seeded coin streams \
+         on the no-instance G(two-faced real 1 fake 0, 1) — ranks are \
+         seeds; wrong counts the one-sided error"
+      ~machine:(Locald_turing.Zoo.two_faced ~steps:2 ~real:1 ~fake:0)
+      ~expected:false ~total:2048 ~chunk:128 ();
+    certify_gmr_workload ~name:"certify-gmr"
+      ~description:
+        "Theorem 2 LD decider traced per node of the yes-instance \
+         G(two-faced real 0 fake 1, 1) — correct = accepted and \
+         witnessed an input-identifier read"
+      ~machine:(Locald_turing.Zoo.two_faced ~steps:2 ~real:0 ~fake:1)
+      ~chunk:64 ();
   ]
 
 let names = List.map (fun w -> w.w_name) all

@@ -229,31 +229,41 @@ let run ?checkpoint ?(resume = false) ?(fsync_every = 1) ~workload ~plan:p
   List.iter (fun (_, res, d) -> fold res d) valid_prefix;
   let evaluated = ref 0 in
   let skip = List.length valid_prefix in
-  List.iteri
-    (fun i c ->
-      if i >= skip then begin
-        let lo, hi = range p c in
-        let res = eval ~lo ~hi in
-        let d = digest_fold !digest ~chunk:c res in
-        Option.iter
-          (fun (_, w) ->
-            Checkpoint.append w
-              {
-                Checkpoint.c_chunk = c;
-                c_lo = lo;
-                c_hi = hi;
-                c_correct = res.r_correct;
-                c_wrong = res.r_wrong;
-                c_fail = res.r_fail;
-                c_digest = d;
-              };
-            Telemetry.event "shard.ckpt"
-              [ ("chunk", Json.Int c); ("lo", Json.Int lo); ("hi", Json.Int hi) ])
-          writer;
-        incr evaluated;
-        fold res d
-      end)
-    chunks;
+  (* The writer must be closed on every exit path: an exception from
+     [eval] mid-loop would otherwise leak the descriptor and drop the
+     buffered tail of the very records a crashed shard needs for
+     [--resume]. *)
+  Fun.protect
+    ~finally:(fun () -> Option.iter (fun (_, w) -> Checkpoint.close w) writer)
+    (fun () ->
+      List.iteri
+        (fun i c ->
+          if i >= skip then begin
+            let lo, hi = range p c in
+            let res = eval ~lo ~hi in
+            let d = digest_fold !digest ~chunk:c res in
+            Option.iter
+              (fun (_, w) ->
+                Checkpoint.append w
+                  {
+                    Checkpoint.c_chunk = c;
+                    c_lo = lo;
+                    c_hi = hi;
+                    c_correct = res.r_correct;
+                    c_wrong = res.r_wrong;
+                    c_fail = res.r_fail;
+                    c_digest = d;
+                  };
+                Telemetry.event "shard.ckpt"
+                  [
+                    ("chunk", Json.Int c); ("lo", Json.Int lo);
+                    ("hi", Json.Int hi);
+                  ])
+              writer;
+            incr evaluated;
+            fold res d
+          end)
+        chunks);
   let summary =
     {
       s_workload = workload;
@@ -269,8 +279,7 @@ let run ?checkpoint ?(resume = false) ?(fsync_every = 1) ~workload ~plan:p
     }
   in
   Option.iter
-    (fun (dir, w) ->
-      Checkpoint.close w;
+    (fun (dir, _) ->
       Checkpoint.mark_done ~dir ~index (summary_json summary))
     writer;
   (summary, !evaluated)

@@ -1,0 +1,471 @@
+(* The AST analysis engine: per-rule positive/negative fixtures,
+   scope awareness (opens, aliases, shadowing), the rule families a
+   lexical scanner provably cannot express, the superset property over
+   the ported rules, the parse-failure fallback, baselines, and the
+   repo's own analyze-clean gate.
+
+   Fixtures are ordinary string literals (the lexical scanner masks
+   them when this file itself is linted; the AST engine sees them as
+   constants), assembled with [String.concat "\n"] where a fixture
+   needs several lines. *)
+
+open Locald_analysis
+
+let check = Alcotest.check
+
+let rule =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (Ast_rules.name r))
+    ( = )
+
+let rules = Alcotest.list rule
+
+(* A path with no policy allowance: ids, decorated keys and clocks all
+   banned, every rule enabled. *)
+let strict = Ast_lint.config_for "lib/core/fixture.ml"
+
+let scan ?(config = strict) text =
+  Ast_lint.scan_string ~file:"lib/core/fixture.ml" ~config text
+
+let rules_of ?config text =
+  List.map (fun f -> f.Ast_lint.a_rule) (scan ?config text)
+
+let lexical text =
+  Lint.scan_string ~file:"lib/core/fixture.ml" ~allow_ids:false text
+
+(* ------------------------------------------------------------------ *)
+(* Ported rules                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_compare () =
+  check rules "structural graph compare" [ Ast_rules.Poly_compare ]
+    (rules_of "let f a b = a.View.graph = b.View.graph");
+  check rules "structural labels disequality" [ Ast_rules.Poly_compare ]
+    (rules_of "let f a b = assert (a.View.labels <> b.View.labels)");
+  check rules "polymorphic hash of payload" [ Ast_rules.Poly_compare ]
+    (rules_of "let h v = Hashtbl.hash v.View.labels");
+  check rules "mediated equality" []
+    (rules_of "let eq a b = Graph.equal a b");
+  check rules "physical equality" []
+    (rules_of "let phys a b = a.View.graph == b.View.graph");
+  check rules "compare without projection" [] (rules_of "let f a b = a = b");
+  check rules "hash of scalar tuple" []
+    (rules_of "let h v n = Hashtbl.hash (View.center v, n)")
+
+let test_naked_ids () =
+  check rules "field access" [ Ast_rules.Naked_ids_access ]
+    (rules_of "let a v = v.View.ids");
+  check rules "record pattern" [ Ast_rules.Naked_ids_access ]
+    (rules_of "let f { View.ids; _ } = ids");
+  check rules "accessor call" [] (rules_of "let a v = View.ids v");
+  check rules "allowed for the owning layer" []
+    (Ast_lint.scan_string ~file:"lib/graph/view.ml"
+       ~config:(Ast_lint.config_for "lib/graph/view.ml")
+       "let a v = v.View.ids"
+    |> List.map (fun f -> f.Ast_lint.a_rule))
+
+let test_self_init () =
+  check rules "nondeterministic seeding" [ Ast_rules.Self_init ]
+    (rules_of "let () = Random.self_init ()");
+  check rules "shadowed module is silent" []
+    (rules_of
+       (String.concat "\n"
+          [ "module Random = Det"; "let x = Random.self_init ()" ]))
+
+let test_decorated_key () =
+  check rules "polymorphic hash on a memo key" [ Ast_rules.Decorated_key ]
+    (rules_of
+       "let t = Memo.create ~hash:Hashtbl.hash ~equal:Memo.equal_node_ids ()");
+  check rules "structural equality on a memo key" [ Ast_rules.Decorated_key ]
+    (rules_of "let t = Memo.create ~equal:( = ) ()");
+  check rules "polymorphic compare on a memo key" [ Ast_rules.Decorated_key ]
+    (rules_of "let t = Memo.create ~equal:compare ()");
+  check rules "mediated key functions" []
+    (rules_of
+       "let t = Memo.create ~hash:(View.fingerprint Memo.structural_hash) ()");
+  check rules "punned variable named hash" []
+    (rules_of "let f ~hash = Memo.create ~hash ()");
+  check rules "allowed for the owning layer" []
+    (Ast_lint.scan_string ~file:"lib/runtime/memo.ml"
+       ~config:(Ast_lint.config_for "lib/runtime/memo.ml")
+       "let t = Memo.create ~hash:Hashtbl.hash ()"
+    |> List.map (fun f -> f.Ast_lint.a_rule))
+
+(* What denotation-grounding buys over token matching: the banned
+   function reached through a local open. The lexical scanner misses
+   it; the AST engine resolves [hash] under [open Hashtbl]. *)
+let test_decorated_key_through_open () =
+  let fixture = "let t = Memo.create ~hash:(let open Hashtbl in hash) ()" in
+  check rules "lexical scanner misses the open" []
+    (List.map (fun f -> Ast_rules.of_lexical f.Lint.f_rule) (lexical fixture));
+  check rules "AST engine resolves it" [ Ast_rules.Decorated_key ]
+    (rules_of fixture)
+
+(* ------------------------------------------------------------------ *)
+(* New families — with the lexical miss asserted alongside each        *)
+(* ------------------------------------------------------------------ *)
+
+let lexically_invisible name fixture =
+  check (Alcotest.list rule)
+    (name ^ ": lexical scanner sees nothing")
+    []
+    (List.map (fun f -> Ast_rules.of_lexical f.Lint.f_rule) (lexical fixture))
+
+let test_domain_race () =
+  let racy =
+    String.concat "\n"
+      [
+        "let hits = ref 0";
+        "let run xs = Pool.map (fun x -> incr hits; x) xs";
+      ]
+  in
+  check rules "toplevel ref captured in Pool.map" [ Ast_rules.Domain_race ]
+    (rules_of racy);
+  lexically_invisible "domain-race" racy;
+  check rules "mutated toplevel record captured"
+    [ Ast_rules.Domain_race ]
+    (rules_of
+       (String.concat "\n"
+          [
+            "let stats = { hits = 0; misses = 0 }";
+            "let run xs = Pool.map (fun x -> stats.hits <- x; x) xs";
+          ]));
+  check rules "queue captured in Domain.spawn" [ Ast_rules.Domain_race ]
+    (rules_of
+       (String.concat "\n"
+          [
+            "let q = Queue.create ()";
+            "let d () = Domain.spawn (fun () -> Queue.push 1 q)";
+          ]));
+  check rules "mutex-mediated capture" []
+    (rules_of
+       (String.concat "\n"
+          [
+            "let hits = ref 0";
+            "let m = Mutex.create ()";
+            "let run xs =";
+            "  Pool.map (fun x -> Mutex.protect m (fun () -> incr hits); x) xs";
+          ]));
+  check rules "function-local ref" []
+    (rules_of "let run xs = let acc = ref 0 in Pool.map (fun x -> incr acc; x) xs");
+  check rules "rebound name inside the closure" []
+    (rules_of
+       (String.concat "\n"
+          [
+            "let hits = ref 0";
+            "let run xs = Pool.map (fun hits -> hits + 1) xs";
+          ]))
+
+let test_nondet_random () =
+  check rules "global Random op" [ Ast_rules.Nondet_random ]
+    (rules_of "let roll () = Random.int 6");
+  lexically_invisible "nondet-random" "let roll () = Random.int 6";
+  check rules "seeded state is fine" []
+    (rules_of "let roll st = Random.State.int st 6");
+  check rules "shadowed module is silent" []
+    (rules_of
+       (String.concat "\n"
+          [ "module Random = Det_random"; "let roll () = Random.int 6" ]))
+
+let test_nondet_clock () =
+  check rules "gettimeofday" [ Ast_rules.Nondet_clock ]
+    (rules_of "let t0 () = Unix.gettimeofday ()");
+  check rules "Sys.time" [ Ast_rules.Nondet_clock ]
+    (rules_of "let t1 () = Sys.time ()");
+  lexically_invisible "nondet-clock" "let t0 () = Unix.gettimeofday ()";
+  check rules "mediated clock" [] (rules_of "let t () = Timing.now ()");
+  check rules "the clock owner is exempt" []
+    (Ast_lint.scan_string ~file:"lib/runtime/timing.ml"
+       ~config:(Ast_lint.config_for "lib/runtime/timing.ml")
+       "let now () = Unix.gettimeofday ()"
+    |> List.map (fun f -> f.Ast_lint.a_rule))
+
+let test_hashtbl_order () =
+  let leaky =
+    "let digest t = Digest.string (Hashtbl.fold (fun k v a -> a ^ k ^ v) t \"\")"
+  in
+  check rules "fold feeding a digest" [ Ast_rules.Hashtbl_order ]
+    (rules_of leaky);
+  lexically_invisible "hashtbl-order" leaky;
+  check rules "fold feeding a checkpoint"
+    [ Ast_rules.Hashtbl_order ]
+    (rules_of
+       "let save w t = Checkpoint.append w (Hashtbl.fold (fun k _ a -> k :: a) t [])");
+  check rules "fold away from any sink" []
+    (rules_of "let keys t = Hashtbl.fold (fun k _ a -> k :: a) t []");
+  check rules "digest of a plain string" []
+    (rules_of "let d s = Digest.string s")
+
+let test_checkpoint_guard () =
+  let unguarded =
+    String.concat "\n"
+      [
+        "let run dir write =";
+        "  let w = Checkpoint.create ~dir ~index:0 in";
+        "  write w;";
+        "  Checkpoint.close w";
+      ]
+  in
+  check rules "unguarded writer" [ Ast_rules.Checkpoint_guard ]
+    (rules_of unguarded);
+  lexically_invisible "checkpoint-guard" unguarded;
+  check rules "Fun.protect guard" []
+    (rules_of
+       (String.concat "\n"
+          [
+            "let run dir write =";
+            "  let w = Checkpoint.create ~dir ~index:0 in";
+            "  Fun.protect";
+            "    ~finally:(fun () -> Checkpoint.close w)";
+            "    (fun () -> write w)";
+          ]));
+  check rules "exception-matching guard" []
+    (rules_of
+       (String.concat "\n"
+          [
+            "let run dir write =";
+            "  let w = Checkpoint.resume ~dir ~index:0 in";
+            "  match write w with";
+            "  | v -> Checkpoint.close w; v";
+            "  | exception e -> Checkpoint.close w; raise e";
+          ]));
+  check rules "no close in the body at all" []
+    (rules_of
+       (String.concat "\n"
+          [
+            "let open_writer dir =";
+            "  let w = Checkpoint.create ~dir ~index:0 in";
+            "  w";
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-cutting behaviour                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_allow_marker () =
+  check rules "marker suppresses on its line" []
+    (rules_of ("let a v = v.View.ids (* " ^ Lint.allow_marker ^ " *)"))
+
+let test_severities () =
+  check Alcotest.string "hashtbl-order is a warning" "warning"
+    (Ast_rules.severity_name (Ast_rules.severity Ast_rules.Hashtbl_order));
+  check Alcotest.string "checkpoint-guard is a warning" "warning"
+    (Ast_rules.severity_name (Ast_rules.severity Ast_rules.Checkpoint_guard));
+  check Alcotest.string "domain-race is an error" "error"
+    (Ast_rules.severity_name (Ast_rules.severity Ast_rules.Domain_race));
+  List.iter
+    (fun r ->
+      check
+        (Alcotest.option rule)
+        ("of_name round-trips " ^ Ast_rules.name r)
+        (Some r)
+        (Ast_rules.of_name (Ast_rules.name r)))
+    Ast_rules.all
+
+let test_test_allow_knob () =
+  let fixture = "let roll () = Random.int 6" in
+  let under path ?test_allow () =
+    Ast_lint.scan_string ~file:path
+      ~config:(Ast_lint.config_for ?test_allow path)
+      fixture
+    |> List.map (fun f -> f.Ast_lint.a_rule)
+  in
+  check Alcotest.bool "test paths recognised" true
+    (Ast_lint.under_test "test/fixture.ml");
+  check rules "test path still strict by default"
+    [ Ast_rules.Nondet_random ]
+    (under "test/fixture.ml" ());
+  check rules "test_allow waives the rule under test/" []
+    (under "test/fixture.ml" ~test_allow:[ Ast_rules.Nondet_random ] ());
+  check rules "test_allow is inert outside test/"
+    [ Ast_rules.Nondet_random ]
+    (under "lib/core/fixture.ml" ~test_allow:[ Ast_rules.Nondet_random ] ())
+
+(* Every true positive the lexical scanner reports on parseable code,
+   the AST engine also reports — same line, same rule. (The converse
+   is false by design; that gap is what the new families measure.) *)
+let test_superset_of_lexical () =
+  let fixture =
+    String.concat "\n"
+      [
+        "let f view = view.View.ids";
+        "let g a b x y = if a.View.graph = b.View.graph then x else y";
+        "let h view = Hashtbl.hash view.View.labels";
+        "let i () = Random.self_init ()";
+        "let j () = Memo.create ~hash:Hashtbl.hash ~equal:Memo.equal_node_ids ()";
+      ]
+  in
+  let ast =
+    List.map (fun f -> (f.Ast_lint.a_line, f.Ast_lint.a_rule)) (scan fixture)
+  in
+  let lex = lexical fixture in
+  check Alcotest.bool "lexical scanner finds the seeded positives" true
+    (List.length lex >= 5);
+  List.iter
+    (fun (f : Lint.finding) ->
+      let want = (f.f_line, Ast_rules.of_lexical f.f_rule) in
+      if not (List.mem want ast) then
+        Alcotest.failf "lexical finding not reproduced: line %d [%s]" f.f_line
+          (Lint.rule_name f.f_rule))
+    lex
+
+let test_lexical_fallback () =
+  let broken =
+    String.concat "\n"
+      [ "let a view = view.View.ids"; "let oops = ) mismatched" ]
+  in
+  let fs = scan broken in
+  check Alcotest.int "fallback still reports" 1 (List.length fs);
+  let f = List.hd fs in
+  check rule "the ids rule survives" Ast_rules.Naked_ids_access
+    f.Ast_lint.a_rule;
+  check Alcotest.bool "tagged as lexical" true
+    (f.Ast_lint.a_engine = Ast_lint.Lexical);
+  (* The same text minus the syntax error analyses natively. *)
+  let fs = scan "let a view = view.View.ids" in
+  check Alcotest.bool "AST engine on parseable text" true
+    ((List.hd fs).Ast_lint.a_engine = Ast_lint.Ast)
+
+let test_finding_json_shape () =
+  let module Json = Locald_runtime.Telemetry.Json in
+  let str k j =
+    match Json.member k j with
+    | Some (Json.String s) -> s
+    | _ -> Alcotest.failf "missing string field %S" k
+  in
+  let j =
+    Ast_lint.finding_json (List.hd (scan "let roll () = Random.int 6"))
+  in
+  check Alcotest.string "rule field" "nondet-random" (str "rule" j);
+  check Alcotest.string "engine field" "ast" (str "engine" j);
+  check Alcotest.string "severity field" "error" (str "severity" j);
+  (* A lifted lexical finding shares the shape, tagged lexical. *)
+  let lifted =
+    Ast_lint.of_lexical (List.hd (lexical "let x = Random.self_init ()"))
+  in
+  check Alcotest.string "lifted rule" "self-init"
+    (str "rule" (Ast_lint.finding_json lifted));
+  check Alcotest.string "lifted engine" "lexical"
+    (str "engine" (Ast_lint.finding_json lifted))
+
+let test_baseline_roundtrip () =
+  let findings =
+    scan
+      (String.concat "\n"
+         [ "let a v = v.View.ids"; "let roll () = Random.int 6" ])
+  in
+  check Alcotest.int "two findings to baseline" 2 (List.length findings);
+  let path = Filename.temp_file "analyze-baseline" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ast_lint.Baseline.write path findings;
+      let entries = Ast_lint.Baseline.load path in
+      check Alcotest.int "all entries load back" 2 (List.length entries);
+      check Alcotest.int "baseline absorbs its findings" 0
+        (List.length (Ast_lint.Baseline.subtract entries findings));
+      let fresh = scan "let t0 () = Unix.gettimeofday ()" in
+      check Alcotest.int "a new finding passes through" 1
+        (List.length (Ast_lint.Baseline.subtract entries fresh)))
+
+(* ------------------------------------------------------------------ *)
+(* Scope resolution units                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_scope () =
+  let open Ast_scope in
+  check (Alcotest.list Alcotest.string) "Stdlib prefix drops"
+    [ "Hashtbl"; "hash" ]
+    (canonical [ "Stdlib"; "Hashtbl"; "hash" ]);
+  check (Alcotest.list Alcotest.string) "library wrapper drops"
+    [ "Memo"; "create" ]
+    (canonical [ "Locald_runtime"; "Memo"; "create" ]);
+  let qualified = Longident.Ldot (Longident.Lident "Hashtbl", "hash") in
+  check Alcotest.bool "qualified path matches" true
+    (matches initial qualified [ "Hashtbl"; "hash" ]);
+  check Alcotest.bool "bare name needs an open" false
+    (matches initial (Longident.Lident "hash") [ "Hashtbl"; "hash" ]);
+  let opened = open_module initial [ "Hashtbl" ] in
+  check Alcotest.bool "open supplies the prefix" true
+    (matches opened (Longident.Lident "hash") [ "Hashtbl"; "hash" ]);
+  check Alcotest.bool "value binding shadows" false
+    (matches (bind_value opened "hash") (Longident.Lident "hash")
+       [ "Hashtbl"; "hash" ]);
+  let aliased =
+    bind_module initial ~name:"R" ~alias:(Some [ "Random" ])
+  in
+  check Alcotest.bool "alias expands" true
+    (matches aliased
+       (Longident.Ldot (Longident.Lident "R", "int"))
+       [ "Random"; "int" ]);
+  let shadowed = bind_module initial ~name:"Random" ~alias:None in
+  check Alcotest.bool "local module shadows" false
+    (matches shadowed
+       (Longident.Ldot (Longident.Lident "Random", "int"))
+       [ "Random"; "int" ])
+
+(* ------------------------------------------------------------------ *)
+(* The repo gate                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_analyze_lib_self_scan () =
+  (* Mirror of the lexical self-scan: the AST engine must also find
+     lib/ clean. Skip silently if the layout changes (CI runs the real
+     [locald analyze] gate from the repo root regardless). *)
+  let candidates = [ Filename.concat ".." "lib"; "lib" ] in
+  match
+    List.find_opt (fun r -> Sys.file_exists r && Sys.is_directory r) candidates
+  with
+  | None -> ()
+  | Some root ->
+      let fs = Ast_lint.scan_tree [ root ] in
+      List.iter
+        (fun f ->
+          Printf.printf "unexpected finding: %s\n"
+            (Format.asprintf "%a" Ast_lint.pp_finding f))
+        fs;
+      check Alcotest.int "lib is analyze-clean" 0 (List.length fs)
+
+let () =
+  Alcotest.run "ast-lint"
+    [
+      ( "ported",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "naked-ids-access" `Quick test_naked_ids;
+          Alcotest.test_case "self-init" `Quick test_self_init;
+          Alcotest.test_case "decorated-key" `Quick test_decorated_key;
+          Alcotest.test_case "decorated-key through local open" `Quick
+            test_decorated_key_through_open;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "domain-race" `Quick test_domain_race;
+          Alcotest.test_case "nondet-random" `Quick test_nondet_random;
+          Alcotest.test_case "nondet-clock" `Quick test_nondet_clock;
+          Alcotest.test_case "hashtbl-order" `Quick test_hashtbl_order;
+          Alcotest.test_case "checkpoint-guard" `Quick test_checkpoint_guard;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "allow marker" `Quick test_allow_marker;
+          Alcotest.test_case "severities and rule names" `Quick
+            test_severities;
+          Alcotest.test_case "test_allow knob" `Quick test_test_allow_knob;
+          Alcotest.test_case "superset of lexical positives" `Quick
+            test_superset_of_lexical;
+          Alcotest.test_case "lexical fallback on parse failure" `Quick
+            test_lexical_fallback;
+          Alcotest.test_case "finding JSON shape" `Quick
+            test_finding_json_shape;
+          Alcotest.test_case "baseline round-trip" `Quick
+            test_baseline_roundtrip;
+        ] );
+      ( "scope",
+        [ Alcotest.test_case "resolution" `Quick test_scope ] );
+      ( "gate",
+        [
+          Alcotest.test_case "lib analyze-clean" `Slow
+            test_analyze_lib_self_scan;
+        ] );
+    ]

@@ -209,6 +209,58 @@ let test_shard_merge_equals_unsharded () =
         [ 1; 2; 4; 8 ])
     [ 1; 4 ]
 
+(* The two registry additions beyond the exhaustive-decider family:
+   the Corollary 1 seed curve and the certify-gmr provenance sweep.
+   Their merged digests are pinned — a change to the G(M,1)
+   construction, the randomised decider's coin usage, or the trace
+   monitor shows up here as a digest break, the same contract
+   BENCH_quick.json enforces for the tree workloads. *)
+let pinned_workloads =
+  [
+    ("corollary1-curve", "b53164b966c5906154c84dd5233364b1");
+    ("certify-gmr", "eae2a273f859df2a33e8d80eefd3d806");
+  ]
+
+let test_new_workload_digest_pins () =
+  List.iter
+    (fun (name, pin) ->
+      let w =
+        match Sweeps.find name with
+        | Some w -> w
+        | None -> Alcotest.failf "workload %s not registered" name
+      in
+      let e = w.Sweeps.w_unsharded () in
+      check string
+        (Printf.sprintf "%s unsharded digest pin" name)
+        pin (Sweeps.digest e);
+      check int
+        (Printf.sprintf "%s zero wrong" name)
+        0 e.Locald_decision.Decider.wrong;
+      let g = w.Sweeps.w_geometry () in
+      List.iter
+        (fun shards ->
+          let plan =
+            Shard.plan ~total:g.Sweeps.g_total ~chunk:w.Sweeps.w_chunk ~shards
+              ()
+          in
+          let eval = w.Sweeps.w_eval () in
+          let summaries =
+            List.init shards (fun i ->
+                let s, _ =
+                  Shard.run ~workload:name ~plan ~index:i ~eval ()
+                in
+                (i, s))
+          in
+          match Shard.merge ~workload:name ~plan ~summaries with
+          | Ok (Shard.Complete { m_digest; _ }) ->
+              check string
+                (Printf.sprintf "%s merged digest at shards=%d" name shards)
+                pin m_digest
+          | Ok (Shard.Incomplete _) -> Alcotest.fail "incomplete"
+          | Error msg -> Alcotest.failf "merge error: %s" msg)
+        [ 1; 3 ])
+    pinned_workloads
+
 (* ------------------------------------------------------------------ *)
 (* Checkpoint files: torn tails, corruption, resume                    *)
 (* ------------------------------------------------------------------ *)
@@ -489,6 +541,8 @@ let () =
             test_merge_rejects_foreign_summary;
           Alcotest.test_case "sharding reproduces unsharded digest" `Slow
             test_shard_merge_equals_unsharded;
+          Alcotest.test_case "corollary1/certify workload digest pins" `Slow
+            test_new_workload_digest_pins;
         ] );
       ( "checkpoint",
         [
