@@ -462,9 +462,121 @@ let quick_workloads =
              ~instances:[ ("G(M,1)", t.Gmr.lg) ]) );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: the scale tier (BENCH_scale.json)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Same contract as the quick tier, one to two orders of magnitude up:
+   deeper trees (regime constant 5 instead of 1), a 45x assignment
+   space, G(M,r) instances built from longer machines, and a certify
+   sweep over six instances at once. Each workload additionally runs
+   under both engine backends — the async rows pin the adversarial
+   scheduler to the same digests as the synchronous simulator. *)
+
+let scale_regime = Ids.f_linear_plus 5
+
+let scale_gmr_machines =
+  [
+    ("two_faced-s3", Zoo.two_faced ~steps:3 ~real:0 ~fake:1);
+    ("two_faced-s4", Zoo.two_faced ~steps:4 ~real:0 ~fake:1);
+    ("two_faced-s5", Zoo.two_faced ~steps:5 ~real:0 ~fake:1);
+    ("walk-s20", Zoo.walk ~steps:20 ~output:0);
+    ("walk-s50", Zoo.walk ~steps:50 ~output:0);
+    ("zigzag-h10", Zoo.zigzag ~half:10 ~output:0);
+  ]
+
+let scale_gmr_instances =
+  lazy
+    (List.map
+       (fun (name, m) ->
+         match
+           Gmr.build
+             ~config:{ (Gmr.default_config ~r:1) with Gmr.fragment_cap = 100 }
+             ~r:1 m
+         with
+         | Ok t -> (name, t.Gmr.lg)
+         | Error _ -> assert false)
+       scale_gmr_machines)
+
+let scale_workloads =
+  [
+    ( "f1-coverage-scale",
+      fun () ->
+        let p = { Tree_instances.regime = scale_regime; arity = 2; r = 2 } in
+        let c = Tree_deciders.coverage p ~t:3 in
+        ( Locald_core.Bound.tree_size ~arity:2 ~depth:(Tree_instances.depth p),
+          digest_of
+            ( c.Tree_deciders.covered,
+              c.Tree_deciders.total_views,
+              c.Tree_deciders.uncovered_node ) ) );
+    ( "exhaustive-decider-scale",
+      fun () ->
+        (* Same H+ instance as the quick tier, quantified over every
+           injective assignment into [0..9] instead of [0..7]: 45x the
+           assignment space over the identical decider, and — through
+           [Runner.prepare] — sensitive to the ambient backend. *)
+        let p = { Tree_instances.regime; arity = 2; r = 2 } in
+        let lg = Tree_instances.small_instance p ~apex:(0, 1) in
+        let e =
+          Locald_decision.Decider.evaluate_exhaustive ~bound:10
+            (Tree_deciders.p_decider p) ~expected:true ~instance:"H+" lg
+        in
+        ( e.Locald_decision.Decider.assignments,
+          digest_of
+            ( e.Locald_decision.Decider.correct,
+              e.Locald_decision.Decider.wrong,
+              e.Locald_decision.Decider.assignments ) ) );
+    ( "corollary1-scale",
+      fun () ->
+        (* The Corollary 1 Monte-Carlo estimate on a G(M,1) an order of
+           magnitude past the paper tables: two_faced with 5 steps at
+           fragment cap 4400. Per-run coin streams are seeded before
+           the fan-out, so the digest is independent of --jobs. *)
+        let t =
+          match
+            Gmr.build
+              ~config:
+                { (Gmr.default_config ~r:1) with Gmr.fragment_cap = 4400 }
+              ~r:1
+              (Zoo.two_faced ~steps:5 ~real:0 ~fake:1)
+          with
+          | Ok t -> t
+          | Error _ -> assert false
+        in
+        let fast = Gmr_deciders.Fast.prepare t.Gmr.lg in
+        let rng = Random.State.make [| 11 |] in
+        let runs = 100 in
+        let seeds = Locald_runtime.Pool.split_seeds rng runs in
+        let outcomes =
+          Locald_runtime.Pool.map
+            (fun s ->
+              let run_rng = Random.State.make [| s |] in
+              Locald_decision.Verdict.accepts
+                (Gmr_deciders.Fast.corollary1 fast run_rng))
+            seeds
+        in
+        let successes =
+          Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 outcomes
+        in
+        (Gmr.order t, digest_of (successes, runs, Gmr.order t)) );
+    ( "certify-gmr-scale",
+      fun () ->
+        (* One provenance sweep over six instances — 35k traced views,
+           12x the quick tier's event volume. The ld decider's
+           simulation memo answers the second (nondeterminism-check)
+           run of every view from the table. *)
+        certify_summary
+          (Locald_analysis.Analysis.certify ~budget:50_000
+             (Gmr_deciders.ld_decider ())
+             ~instances:(Lazy.force scale_gmr_instances)) );
+  ]
+
 type quick_entry = {
   qe_id : string;
   qe_jobs : int;
+  qe_backend : Locald_local.Backend.t option;
+      (* None on quick rows (ambient default); scale rows carry the
+         explicit backend dimension *)
   qe_wall : float;
   qe_n : int;
   qe_digest : string;
@@ -473,47 +585,77 @@ type quick_entry = {
   qe_orbit_classes : int;  (* distinct decorated-ball classes decided *)
 }
 
-let collect_quick_entries () =
+let backend_suffix = function
+  | None | Some Locald_local.Backend.Sync -> ""
+  | Some (Locald_local.Backend.Async _) -> "+async"
+
+let entry_key e =
+  Printf.sprintf "%s@j%d%s" e.qe_id e.qe_jobs (backend_suffix e.qe_backend)
+
+let collect_entries ~backends workloads =
   let job_counts = [ 1; 4 ] in
   List.concat_map
     (fun (id, work) ->
       let runs =
-        List.map
+        List.concat_map
           (fun jobs ->
-            Locald_runtime.Pool.set_default_jobs jobs;
-            (* Per-row cache accounting: a fresh telemetry run scopes
-               every counter to this workload, so back-to-back rows
-               report independent (not cumulative) counts. *)
-            Locald_runtime.Telemetry.new_run ();
-            let (n, digest), wall = Locald_runtime.Timing.time work in
-            let ms = Locald_runtime.Memo.run_stats () in
-            Printf.printf "%-24s jobs=%d n=%-8d %8.3fs  %s\n%!" id jobs n
-              wall digest;
-            {
-              qe_id = id;
-              qe_jobs = jobs;
-              qe_wall = wall;
-              qe_n = n;
-              qe_digest = digest;
-              qe_hits = ms.Locald_runtime.Memo.hits;
-              qe_misses = ms.Locald_runtime.Memo.misses;
-              qe_orbit_classes = ms.Locald_runtime.Memo.distinct;
-            })
+            List.map
+              (fun backend ->
+                Locald_runtime.Pool.set_default_jobs jobs;
+                (* Per-row cache accounting: a fresh telemetry run scopes
+                   every counter to this workload, so back-to-back rows
+                   report independent (not cumulative) counts. *)
+                Locald_runtime.Telemetry.new_run ();
+                let run_work () =
+                  match backend with
+                  | None -> work ()
+                  | Some b -> Locald_local.Backend.with_default b work
+                in
+                let (n, digest), wall = Locald_runtime.Timing.time run_work in
+                let ms = Locald_runtime.Memo.run_stats () in
+                let e =
+                  {
+                    qe_id = id;
+                    qe_jobs = jobs;
+                    qe_backend = backend;
+                    qe_wall = wall;
+                    qe_n = n;
+                    qe_digest = digest;
+                    qe_hits = ms.Locald_runtime.Memo.hits;
+                    qe_misses = ms.Locald_runtime.Memo.misses;
+                    qe_orbit_classes = ms.Locald_runtime.Memo.distinct;
+                  }
+                in
+                Printf.printf "%-32s jobs=%d%s n=%-8d %8.3fs  %s\n%!" id jobs
+                  (backend_suffix backend) n wall digest;
+                e)
+              backends)
           job_counts
       in
+      (* Every row of a workload — across job counts AND backends —
+         must produce the same digest: the pool's determinism contract
+         and the async backend's pin to the synchronous simulator. *)
       (match runs with
       | first :: rest ->
           List.iter
             (fun e ->
               if e.qe_digest <> first.qe_digest then
                 Printf.printf
-                  "  WARNING: %s digest differs at jobs=%d — determinism \
+                  "  WARNING: %s digest differs from %s — determinism \
                    contract violated\n"
-                  id e.qe_jobs)
+                  (entry_key e) (entry_key first))
             rest
       | [] -> ());
       runs)
-    quick_workloads
+    workloads
+
+let scale_backends =
+  [
+    Some Locald_local.Backend.Sync;
+    Some (Locald_local.Backend.Async { Async_runner.sched_seed = 7; fifo = false });
+  ]
+
+let collect_quick_entries () = collect_entries ~backends:[ None ] quick_workloads
 
 (* The bench JSON writer and a live checkpoint writer must never
    interleave output: a shard checkpoint flushes mid-line-accurate
@@ -521,14 +663,53 @@ let collect_quick_entries () =
    process could only happen through a harness bug — refuse loudly
    rather than corrupt either stream. *)
 let refuse_if_checkpointing () =
-  let open_writers = Locald_runtime.Checkpoint.active_writers () in
-  if open_writers > 0 then begin
-    Printf.eprintf
-      "bench: refusing to write bench JSON while %d checkpoint writer(s) are \
-       open in this process\n"
-      open_writers;
-    exit Locald_runtime.Shard.Exit.usage
-  end
+  match Locald_runtime.Checkpoint.active_writer_paths () with
+  | [] -> ()
+  | paths ->
+      Printf.eprintf
+        "bench: refusing to write bench JSON while %d checkpoint writer(s) \
+         are open in this process:\n"
+        (List.length paths);
+      List.iter (Printf.eprintf "bench:   open writer: %s\n") paths;
+      exit Locald_runtime.Shard.Exit.usage
+
+let write_entries path entries =
+  (* One entry per line (the layout [parse_pins] reads back), each line
+     emitted through the telemetry JSON module so hostile workload ids
+     — quotes, backslashes — stay valid JSON. Wall times are rounded to
+     the microsecond the old %.6f writer printed at. *)
+  let entry_json e =
+    Locald_runtime.Telemetry.Json.(
+      Obj
+        ([
+           ("wall_s", Float (Float.round (e.qe_wall *. 1e6) /. 1e6));
+           ("jobs", Int e.qe_jobs);
+         ]
+        @ (match e.qe_backend with
+          | None -> []
+          | Some Locald_local.Backend.Sync -> [ ("backend", String "sync") ]
+          | Some (Locald_local.Backend.Async _) ->
+              [ ("backend", String "async") ])
+        @ [
+            ("n", Int e.qe_n);
+            ("hits", Int e.qe_hits);
+            ("misses", Int e.qe_misses);
+            ("orbit_classes", Int e.qe_orbit_classes);
+            ("result_digest", String e.qe_digest);
+          ]))
+  in
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i e ->
+      Printf.fprintf oc "  %s: %s%s\n"
+        (Locald_runtime.Telemetry.Json.escape_string (entry_key e))
+        (Locald_runtime.Telemetry.Json.to_string (entry_json e))
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let run_quick_bench path =
   refuse_if_checkpointing ();
@@ -538,36 +719,33 @@ let run_quick_bench path =
   print_endline "=================================================================";
   let entries = collect_quick_entries () in
   Locald_runtime.Pool.set_default_jobs 1;
-  (* One entry per line (the layout [parse_pins] reads back), each line
-     emitted through the telemetry JSON module so hostile workload ids
-     — quotes, backslashes — stay valid JSON. Wall times are rounded to
-     the microsecond the old %.6f writer printed at. *)
-  let entry_json e =
-    Locald_runtime.Telemetry.Json.(
-      Obj
-        [
-          ("wall_s", Float (Float.round (e.qe_wall *. 1e6) /. 1e6));
-          ("jobs", Int e.qe_jobs);
-          ("n", Int e.qe_n);
-          ("hits", Int e.qe_hits);
-          ("misses", Int e.qe_misses);
-          ("orbit_classes", Int e.qe_orbit_classes);
-          ("result_digest", String e.qe_digest);
-        ])
+  write_entries path entries
+
+let filter_workloads only workloads =
+  match only with
+  | [] -> workloads
+  | only ->
+      List.iter
+        (fun id ->
+          if not (List.mem_assoc id workloads) then begin
+            Printf.eprintf "bench: --only %s names no workload in this tier\n"
+              id;
+            exit Locald_runtime.Shard.Exit.usage
+          end)
+        only;
+      List.filter (fun (id, _) -> List.mem id only) workloads
+
+let run_scale_bench ~only path =
+  refuse_if_checkpointing ();
+  print_endline "";
+  print_endline "=================================================================";
+  print_endline " PART 5: scale bench (machine-readable)";
+  print_endline "=================================================================";
+  let entries =
+    collect_entries ~backends:scale_backends (filter_workloads only scale_workloads)
   in
-  let oc = open_out path in
-  output_string oc "{\n";
-  List.iteri
-    (fun i e ->
-      Printf.fprintf oc "  %s: %s%s\n"
-        (Locald_runtime.Telemetry.Json.escape_string
-           (Printf.sprintf "%s@j%d" e.qe_id e.qe_jobs))
-        (Locald_runtime.Telemetry.Json.to_string (entry_json e))
-        (if i = List.length entries - 1 then "" else ","))
-    entries;
-  output_string oc "}\n";
-  close_out oc;
-  Printf.printf "wrote %s\n" path
+  Locald_runtime.Pool.set_default_jobs 1;
+  write_entries path entries
 
 (* ------------------------------------------------------------------ *)
 (* --check: CI smoke gate against the committed pins                   *)
@@ -628,22 +806,34 @@ let parse_pins path =
   close_in ic;
   List.rev !pins
 
-let run_check path =
+(* Workloads whose decide-once caches must actually fire: a refactor
+   that silently stops threading the memo through these cold paths
+   keeps the digests intact but zeroes the hit columns, and this gate
+   is what catches it. *)
+let hits_gated_quick = [ "f1-coverage"; "corollary1"; "certify-gmr" ]
+let hits_gated_scale =
+  [ "f1-coverage-scale"; "corollary1-scale"; "certify-gmr-scale" ]
+
+(* Wall-clock regression gates on the tentpole workloads only —
+   micro-workloads are too noisy for a CI timing assertion. *)
+let wall_gated_quick = [ "exhaustive-decider@j1"; "certify-gmr@j1" ]
+
+let run_check_tier ~tier ~collect ~hits_gated ~wall_gated path =
   let pins = parse_pins path in
   if pins = [] then begin
     Printf.printf "CHECK: no pins parsed from %s\n" path;
     exit 1
   end;
   print_endline "=================================================================";
-  Printf.printf " CHECK: quick bench vs pins in %s\n" path;
+  Printf.printf " CHECK: %s bench vs pins in %s\n" tier path;
   print_endline "=================================================================";
-  let entries = collect_quick_entries () in
+  let entries = collect () in
   Locald_runtime.Pool.set_default_jobs 1;
   let fail = ref false in
   List.iter
     (fun e ->
-      let key = Printf.sprintf "%s@j%d" e.qe_id e.qe_jobs in
-      match List.assoc_opt key pins with
+      let key = entry_key e in
+      (match List.assoc_opt key pins with
       | None ->
           Printf.printf "CHECK FAIL: %s has no pinned entry\n" key;
           fail := true
@@ -653,22 +843,64 @@ let run_check path =
               key e.qe_digest pinned_digest;
             fail := true
           end;
-          (* Wall-clock regression gate on the tentpole workload only —
-             micro-workloads are too noisy for a CI timing assertion. *)
-          if key = "exhaustive-decider@j1" && e.qe_wall > 2.0 *. pinned_wall
+          (* 2x relative plus a 50ms absolute grace: the relative bound
+             is the regression signal, the absolute term keeps
+             scheduler jitter on millisecond workloads from tripping
+             it. *)
+          if
+            List.mem key wall_gated
+            && e.qe_wall > (2.0 *. pinned_wall) +. 0.05
           then begin
             Printf.printf
               "CHECK FAIL: %s wall %.6fs regressed more than 2x over pinned \
                %.6fs\n"
               key e.qe_wall pinned_wall;
             fail := true
-          end)
+          end);
+      if List.mem e.qe_id hits_gated && e.qe_hits <= 0 then begin
+        Printf.printf
+          "CHECK FAIL: %s reports no memo hits — the decide-once cache no \
+           longer fires on this path\n"
+          key;
+        fail := true
+      end)
     entries;
   if !fail then exit 1;
   Printf.printf
-    "CHECK: %d entries match their pinned digests; exhaustive-decider@j1 \
-     within 2x\n"
-    (List.length entries)
+    "CHECK: %d entries match their pinned digests%s%s\n" (List.length entries)
+    (if wall_gated = [] then ""
+     else "; " ^ String.concat ", " wall_gated ^ " within 2x")
+    (if hits_gated = [] then "" else "; memo hits nonzero where gated")
+
+let run_check path =
+  run_check_tier ~tier:"quick" ~collect:collect_quick_entries
+    ~hits_gated:hits_gated_quick ~wall_gated:wall_gated_quick path
+
+let run_check_scale ~only path =
+  run_check_tier ~tier:"scale"
+    ~collect:(fun () ->
+      collect_entries ~backends:scale_backends
+        (filter_workloads only scale_workloads))
+    ~hits_gated:hits_gated_scale ~wall_gated:[] path
+
+(* [--scale]/[--check-scale] accept an optional pin path plus any
+   number of [--only WORKLOAD] filters (the CI smoke job runs the cheap
+   scale workloads only; pins for filtered-out rows are ignored). *)
+let parse_path_and_only ~default rest =
+  let rec go path only = function
+    | [] -> (Option.value path ~default, List.rev only)
+    | "--only" :: w :: rest -> go path (w :: only) rest
+    | "--only" :: [] ->
+        prerr_endline "bench: --only needs a workload id";
+        exit Locald_runtime.Shard.Exit.usage
+    | p :: rest -> (
+        match path with
+        | None -> go (Some p) only rest
+        | Some _ ->
+            Printf.eprintf "bench: unexpected argument %s\n" p;
+            exit Locald_runtime.Shard.Exit.usage)
+  in
+  go None [] rest
 
 let () =
   match Array.to_list Sys.argv with
@@ -679,6 +911,12 @@ let () =
   | _ :: "--check" :: rest ->
       let path = match rest with p :: _ -> p | [] -> "BENCH_quick.json" in
       run_check path
+  | _ :: "--scale" :: rest ->
+      let path, only = parse_path_and_only ~default:"BENCH_scale.json" rest in
+      run_scale_bench ~only path
+  | _ :: "--check-scale" :: rest ->
+      let path, only = parse_path_and_only ~default:"BENCH_scale.json" rest in
+      run_check_scale ~only path
   | _ ->
       regenerate_paper_artefacts ();
       run_ablations ();

@@ -2,6 +2,7 @@ open Locald_graph
 open Locald_turing
 open Locald_local
 open Locald_decision
+open Locald_runtime
 
 let simulation_cap = 100_000
 
@@ -16,11 +17,23 @@ let halts_with_nonzero machine ~fuel =
 
 let ld_decider () =
   let structure = structure_verifier () in
+  (* Decide-once on the simulation outcome. The verdict of a bounded
+     TM run is a pure function of [(machine, fuel)] and [Exec.run]
+     never touches the view, so memoising it is trace-safe: the
+     certifier's nondeterminism double-run reads the view identically
+     and answers the simulation from the table on the second pass.
+     The coins-free key also never coarsens across id decorations —
+     the fuel IS the centre id. *)
+  let sim =
+    Memo.create ~hash:Memo.structural_hash ~equal:Memo.structural_equal ()
+  in
   Algorithm.make ~name:"Gmr-LD-decider" ~radius:2 (fun (view : Gmr.label View.t) ->
       let machine = (View.center_label view).Gmr.machine in
       let fuel = min (View.center_id view) simulation_cap in
       structure.Algorithm.ob_decide (View.strip_ids view)
-      && not (halts_with_nonzero machine ~fuel))
+      && not
+           (Memo.find_or_compute sim (machine, fuel) (fun () ->
+                halts_with_nonzero machine ~fuel)))
 
 let candidate_fuel ~fuel =
   let structure = structure_verifier () in
@@ -125,11 +138,49 @@ module Fast = struct
   let scan_candidate t = verdict_of t (fun v -> not t.bad_halt_within_2.(v))
 
   let corollary1 t rng =
-    verdict_of t (fun _ ->
-        let fuel =
-          Randomized.four_pow_capped ~cap:simulation_cap (Randomized.geometric rng)
-        in
-        not (finds_bad_halt t ~fuel))
+    (* Decide-once per geometric level within one run: the outcome is
+       a pure function of the level, so repeated draws answer from a
+       run-local flat table (domain-confined — no locks, no hashing).
+       The coins are still consumed one draw per node, exactly like
+       the uncached decider: coins themselves are never memoised (the
+       PR-4 contract), only the deterministic function of the draw is.
+       The reuse reports into the run-scoped memo tallies like the
+       restriction scanner's trie — flushed in bulk after the verdict,
+       because this loop runs millions of times per experiment. *)
+    let max_level = 62 in
+    let outcomes = Bytes.make (max_level + 1) '\000' in
+    let hits = ref 0 and misses = ref 0 in
+    let decide_level level =
+      let fuel = Randomized.four_pow_capped ~cap:simulation_cap level in
+      not (finds_bad_halt t ~fuel)
+    in
+    let verdict =
+      verdict_of t (fun _ ->
+          let level = Randomized.geometric rng in
+          if level <= max_level then
+            match Bytes.unsafe_get outcomes level with
+            | '\001' ->
+                incr hits;
+                true
+            | '\002' ->
+                incr hits;
+                false
+            | _ ->
+                incr misses;
+                let ok = decide_level level in
+                Bytes.unsafe_set outcomes level (if ok then '\001' else '\002');
+                ok
+          else begin
+            (* Levels past 62 are beyond the fuel cap's resolution and
+               astronomically unlikely; just compute. *)
+            incr misses;
+            decide_level level
+          end)
+    in
+    Memo.note_hits !hits;
+    Memo.note_misses !misses;
+    Memo.note_distincts !misses;
+    verdict
 end
 
 let property ~r ~config =

@@ -1,0 +1,231 @@
+type t = {
+  a_n : int;
+  a_m : int;
+  offsets : int array;  (* length n+1; offsets.(n) = 2m *)
+  adj : int array;      (* length 2m; slice per vertex, sorted *)
+}
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Graph.Invalid_graph s)) fmt
+
+let order t = t.a_n
+let size t = t.a_m
+
+let of_graph g =
+  let n = Graph.order g in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + Graph.degree g v
+  done;
+  let adj = Array.make offsets.(n) 0 in
+  for v = 0 to n - 1 do
+    let nbrs = Graph.neighbours g v in
+    Array.blit nbrs 0 adj offsets.(v) (Array.length nbrs)
+  done;
+  { a_n = n; a_m = Graph.size g; offsets; adj }
+
+let to_graph t =
+  Graph.of_sorted_adjacency_unchecked
+    (Array.init t.a_n (fun v ->
+         let off = t.offsets.(v) in
+         Array.sub t.adj off (t.offsets.(v + 1) - off)))
+
+let degree t v =
+  if v < 0 || v >= t.a_n then invalid "vertex %d out of range [0,%d)" v t.a_n;
+  t.offsets.(v + 1) - t.offsets.(v)
+
+let slice t v =
+  if v < 0 || v >= t.a_n then invalid "vertex %d out of range [0,%d)" v t.a_n;
+  let off = t.offsets.(v) in
+  (t.adj, off, t.offsets.(v + 1) - off)
+
+let neighbours_iter t v f =
+  if v < 0 || v >= t.a_n then invalid "vertex %d out of range [0,%d)" v t.a_n;
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f (Array.unsafe_get t.adj i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain graph -> arena cache                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every driver has the same shape — one big instance, one extraction
+   per centre — so the flattening cost is amortised by remembering the
+   last few (graph, arena) pairs per domain. Keys compare by physical
+   identity: a Graph.t is immutable, so [==] is both sound and free.
+   Slots are weak so the cache never extends a graph's lifetime. *)
+
+let cache_slots = 8
+
+type cache = { pairs : (Graph.t * t) Weak.t; mutable next : int }
+
+let cache_key =
+  Domain.DLS.new_key (fun () ->
+      { pairs = Weak.create cache_slots; next = 0 })
+
+let of_graph_cached g =
+  let c = Domain.DLS.get cache_key in
+  let rec find i =
+    if i >= cache_slots then None
+    else
+      match Weak.get c.pairs i with
+      | Some (g', a) when g' == g -> Some a
+      | _ -> find (i + 1)
+  in
+  match find 0 with
+  | Some a -> a
+  | None ->
+      let a = of_graph g in
+      Weak.set c.pairs c.next (Some (g, a));
+      c.next <- (c.next + 1) mod cache_slots;
+      a
+
+(* ------------------------------------------------------------------ *)
+(* Fused ball extraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Bit-packed visited set: one bit per vertex. The invariant between
+   calls is all-zero; extract_ball clears exactly the bits it set, so
+   there is no O(n) wipe on the hot path. *)
+
+let[@inline] bit_test b v =
+  Char.code (Bytes.unsafe_get b (v lsr 3)) land (1 lsl (v land 7)) <> 0
+
+let[@inline] bit_set b v =
+  let i = v lsr 3 in
+  Bytes.unsafe_set b i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b i) lor (1 lsl (v land 7))))
+
+let[@inline] bit_clear b v =
+  let i = v lsr 3 in
+  Bytes.unsafe_set b i
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get b i) land lnot (1 lsl (v land 7))))
+
+type scratch = {
+  mutable visited : Bytes.t;  (* bitset, all-zero between calls *)
+  mutable dist : int array;   (* BFS depth, valid only for visited *)
+  mutable queue : int array;  (* BFS queue / member list *)
+  mutable rank : int array;   (* old vertex -> new index, members only *)
+  mutable cap : int;          (* vertex capacity of the above *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { visited = Bytes.empty; dist = [||]; queue = [||]; rank = [||]; cap = 0 })
+
+(* Reuse accounting, read by the [view.scratch_reuses] telemetry gauge
+   and the reuse-pinning test. Cumulative across all domains since
+   program start; callers diff snapshots to scope a run. *)
+let reuses = Atomic.make 0
+let allocs = Atomic.make 0
+let scratch_reuses () = Atomic.get reuses
+let scratch_allocs () = Atomic.get allocs
+
+let scratch_for n =
+  let s = Domain.DLS.get scratch_key in
+  if s.cap >= n then Atomic.incr reuses
+  else begin
+    Atomic.incr allocs;
+    s.visited <- Bytes.make ((n + 7) lsr 3) '\000';
+    s.dist <- Array.make n 0;
+    s.queue <- Array.make n 0;
+    s.rank <- Array.make n 0;
+    s.cap <- n
+  end;
+  s
+
+let int_compare (a : int) b = if a < b then -1 else if a > b then 1 else 0
+
+(* Index of the lowest set bit of a non-zero byte. *)
+let lowest_bit =
+  Array.init 256 (fun x ->
+      let rec go i = if x = 0 || x land (1 lsl i) <> 0 then i else go (i + 1) in
+      go 0)
+
+let extract_ball t ~center ~radius =
+  if radius < 0 then invalid "view: negative radius %d" radius;
+  if center < 0 || center >= t.a_n then
+    invalid "vertex %d out of range [0,%d)" center t.a_n;
+  let s = scratch_for t.a_n in
+  let visited = s.visited and dist = s.dist and queue = s.queue in
+  let offsets = t.offsets and flat = t.adj in
+  (* BFS, truncated at [radius]. *)
+  bit_set visited center;
+  Array.unsafe_set dist center 0;
+  Array.unsafe_set queue 0 center;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = Array.unsafe_get queue !head in
+    incr head;
+    let du = Array.unsafe_get dist u in
+    if du < radius then begin
+      let stop = Array.unsafe_get offsets (u + 1) in
+      for i = Array.unsafe_get offsets u to stop - 1 do
+        let w = Array.unsafe_get flat i in
+        if not (bit_test visited w) then begin
+          bit_set visited w;
+          Array.unsafe_set dist w (du + 1);
+          Array.unsafe_set queue !tail w;
+          incr tail
+        end
+      done
+    end
+  done;
+  let k = !tail in
+  (* Sorted member list. Dense balls read the bitset back in index
+     order (ascending for free); sparse balls in huge graphs sort the
+     queue instead — the bitset scan would be O(n/8) regardless of the
+     ball size. *)
+  let back = Array.make k 0 in
+  if t.a_n lsr 3 <= 4 * k then begin
+    let idx = ref 0 in
+    let nbytes = (t.a_n + 7) lsr 3 in
+    for b = 0 to nbytes - 1 do
+      let byte = Char.code (Bytes.unsafe_get visited b) in
+      if byte <> 0 then begin
+        let base = b lsl 3 in
+        let rest = ref byte in
+        while !rest <> 0 do
+          let r = !rest in
+          Array.unsafe_set back !idx (base + Array.unsafe_get lowest_bit r);
+          incr idx;
+          rest := r land (r - 1)
+        done
+      end
+    done
+  end
+  else begin
+    Array.blit queue 0 back 0 k;
+    Array.sort int_compare back
+  end;
+  (* Old vertex -> new index. Membership is the still-set visited bit;
+     ranks are only written (and only read) for members. *)
+  let rank = s.rank in
+  for i = 0 to k - 1 do
+    Array.unsafe_set rank (Array.unsafe_get back i) i
+  done;
+  (* Induced adjacency in the new numbering, one pass per slice:
+     mapped ranks stream through a scratch buffer ([dist] is dead
+     after the BFS) and are copied out at exact size. [back] is sorted
+     and CSR slices are sorted, so the ranks come out sorted for
+     free. *)
+  let tmp = dist in
+  let sub_adj = Array.make k [||] in
+  for i = 0 to k - 1 do
+    let v = Array.unsafe_get back i in
+    let stop = Array.unsafe_get offsets (v + 1) in
+    let cnt = ref 0 in
+    for j = Array.unsafe_get offsets v to stop - 1 do
+      let w = Array.unsafe_get flat j in
+      if bit_test visited w then begin
+        Array.unsafe_set tmp !cnt (Array.unsafe_get rank w);
+        incr cnt
+      end
+    done;
+    Array.unsafe_set sub_adj i (Array.sub tmp 0 !cnt)
+  done;
+  (* Restore the all-zero invariant: clear exactly the bits we set. *)
+  for i = 0 to k - 1 do
+    bit_clear visited (Array.unsafe_get back i)
+  done;
+  (Graph.of_sorted_adjacency_unchecked sub_adj, back, Array.unsafe_get rank center)

@@ -11,6 +11,8 @@ let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_graph s)) fmt
 let check_endpoint n v =
   if v < 0 || v >= n then invalid "vertex %d out of range [0,%d)" v n
 
+let int_compare (a : int) b = if a < b then -1 else if a > b then 1 else 0
+
 let normalise_adj n adj =
   let sets = Array.make n [] in
   Array.iteri
@@ -23,7 +25,10 @@ let normalise_adj n adj =
           sets.(v) <- u :: sets.(v))
         nbrs)
     adj;
-  let dedup l = List.sort_uniq compare l in
+  (* Int-specialised comparison: the polymorphic [compare] walks the
+     runtime representation on every call, which shows up on graph
+     construction for the large gadget instances. *)
+  let dedup l = List.sort_uniq int_compare l in
   Array.map (fun l -> Array.of_list (dedup l)) sets
 
 let of_adjacency adj =
@@ -43,13 +48,24 @@ let of_edges ~n edges =
       sets.(u) <- v :: sets.(u);
       sets.(v) <- u :: sets.(v))
     edges;
-  let adj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) sets in
+  let adj = Array.map (fun l -> Array.of_list (List.sort_uniq int_compare l)) sets in
   let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
   { n; adj; m }
 
 let empty n =
   if n < 0 then invalid "negative vertex count %d" n;
   { n; adj = Array.make n [||]; m = 0 }
+
+(* Adoption constructor for {!Arena}: the caller guarantees the
+   adjacency is already a valid normalised representation (per-vertex
+   arrays sorted, deduplicated, symmetric, loop-free, in-range), so no
+   checks and no copies are performed. Keeping it total on malformed
+   input would cost exactly the normalisation pass the arena exists to
+   avoid. *)
+let of_sorted_adjacency_unchecked adj =
+  let n = Array.length adj in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { n; adj; m }
 
 let order g = g.n
 let size g = g.m
@@ -148,8 +164,6 @@ let bfs_scratch n =
   end;
   s.gen <- s.gen + 1;
   s
-
-let int_compare (a : int) b = if a < b then -1 else if a > b then 1 else 0
 
 let bfs_distances g src =
   check_endpoint g.n src;

@@ -28,6 +28,14 @@ val of_adjacency : int array array -> t
 val empty : int -> t
 (** [empty n] is the edgeless graph on [n] vertices. *)
 
+val of_sorted_adjacency_unchecked : int array array -> t
+(** Adopt an adjacency array that is {e already} a valid normalised
+    representation: every per-vertex array sorted strictly increasing,
+    symmetric, loop-free, all endpoints in range. No checks, no copies —
+    the arrays are owned by the result. This is the fast-path
+    constructor for {!Arena}; general callers should use
+    {!of_adjacency}, which normalises. *)
+
 (** {1 Basic accessors} *)
 
 val order : t -> int

@@ -77,6 +77,8 @@ let with_monitor mon f =
   Fun.protect ~finally:(fun () -> slot := previous) f
 
 let depth_of inst view v =
+  if v = view.center then 0
+  else
   let fresh =
     match inst.memo_graph with
     | Some g -> not (g == view.graph && inst.memo_center = view.center)
@@ -135,32 +137,24 @@ let extract_mapped ?ids lg ~center ~radius =
       invalid "view: %d ids for %d nodes" (Array.length ids) (Labelled.order lg)
   | Some _ | None -> ());
   Atomic.incr extractions;
-  let ball = Graph.ball (Labelled.graph lg) center radius in
-  let sub, back = Labelled.induced lg ball in
-  (* [back] is sorted, so locate the centre's new index by search. *)
-  let new_center =
-    let lo = ref 0 and hi = ref (Array.length back) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) lsr 1 in
-      if back.(mid) < center then lo := mid + 1 else hi := mid
-    done;
-    !lo
-  in
+  (* One fused pass over the CSR arena: truncated BFS with a bitset
+     frontier, then the induced adjacency in the new numbering —
+     representation-identical to the historical Graph.ball +
+     Labelled.induced pipeline (sorted [back], sorted per-node
+     adjacency), but without the per-assignment array churn. The arena
+     itself is flattened once per instance and per domain. *)
+  let arena = Arena.of_graph_cached (Labelled.graph lg) in
+  let sub, back, new_center = Arena.extract_ball arena ~center ~radius in
   assert (new_center < Array.length back && back.(new_center) = center);
+  let all_labels = Labelled.labels lg in
+  let labels = Array.map (fun v -> Array.unsafe_get all_labels v) back in
   let ids = Option.map (fun ids -> Array.map (fun v -> ids.(v)) back) ids in
   (* Injectivity is validated on the restriction only: global
      injectivity is the input assignment's own invariant (enforced by
      Ids.of_array), and an O(n) check here would make whole-graph runs
      quadratic. *)
-  check_ids (Labelled.order sub) ids;
-  ( {
-      center = new_center;
-      radius;
-      graph = Labelled.graph sub;
-      labels = Labelled.labels sub;
-      ids;
-    },
-    back )
+  check_ids (Graph.order sub) ids;
+  ({ center = new_center; radius; graph = sub; labels; ids }, back)
 
 let extract ?ids lg ~center ~radius = fst (extract_mapped ?ids lg ~center ~radius)
 

@@ -39,18 +39,26 @@ type ('a, 'o) prepared = {
 }
 
 let prepare t lg =
-  {
-    rp_alg = t;
-    rp_views =
-      Array.init (Labelled.order lg) (fun v ->
-          View.extract_mapped lg ~center:v ~radius:t.radius);
-  }
+  let prep =
+    {
+      rp_alg = t;
+      rp_views =
+        Array.init (Labelled.order lg) (fun v ->
+            View.extract_mapped lg ~center:v ~radius:t.radius);
+    }
+  in
+  Runner.sync_scratch_gauges ();
+  prep
 
 (* Identical to [run] — same seed split, same per-node streams — with
    the ball extraction hoisted into [prepare]. Decides are NOT
    memoisable here: the output depends on the private coin stream, not
    only on the decorated view, so the decide-once contract does not
-   apply. *)
+   apply. What IS memoisable is any deterministic function {e of} the
+   draw inside a decider — the draw must still be consumed per node,
+   but its consequence (e.g. "does fuel level l find a bad halt") can
+   answer from a decide-once cache, reported through [Memo.note_*]
+   (see [Gmr_deciders.Fast.corollary1]). *)
 let run_prepared ~rng ~oblivious prep ~ids =
   let n = Array.length prep.rp_views in
   let ids =

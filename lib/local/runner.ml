@@ -43,8 +43,29 @@ type ('a, 'o) prepared = {
    tally and the quotient scans are billed in. *)
 let c_decides = Locald_runtime.Telemetry.Counter.make "runner.decides"
 
+(* Scratch-pool effectiveness, bridged from the arena's cumulative
+   process-wide counters into the current telemetry run: after the
+   first extraction on a worker, every further ball should reuse that
+   worker's BFS scratch rather than reallocate. The bridge runs once
+   per batch-extraction site (not per ball), so the run-lock cost of
+   the gauges stays off the hot path. *)
+let g_scratch_reuses = Locald_runtime.Telemetry.Gauge.make "view.scratch_reuses"
+let g_scratch_allocs = Locald_runtime.Telemetry.Gauge.make "view.scratch_allocs"
+
+let last_scratch_reuses = Atomic.make 0
+let last_scratch_allocs = Atomic.make 0
+
+let sync_scratch_gauges () =
+  let cur = Arena.scratch_reuses () in
+  let delta = cur - Atomic.exchange last_scratch_reuses cur in
+  Locald_runtime.Telemetry.Gauge.add g_scratch_reuses (float_of_int delta);
+  let cur = Arena.scratch_allocs () in
+  let delta = cur - Atomic.exchange last_scratch_allocs cur in
+  Locald_runtime.Telemetry.Gauge.add g_scratch_allocs (float_of_int delta)
+
 let prepare ?(memo = Locald_runtime.Memo.Off) ?backend alg lg =
   Locald_runtime.Telemetry.span "runner.prepare" @@ fun () ->
+  Fun.protect ~finally:sync_scratch_gauges @@ fun () ->
   {
     p_alg = alg;
     p_order = Labelled.order lg;

@@ -58,6 +58,15 @@ val prepare :
 val prepared_size : ('a, 'o) prepared -> int
 (** Order of the underlying graph. *)
 
+val sync_scratch_gauges : unit -> unit
+(** Flush the arena's cumulative scratch-pool counters
+    ({!Locald_graph.Arena.scratch_reuses}/[scratch_allocs]) into the
+    current telemetry run as the [view.scratch_reuses] /
+    [view.scratch_allocs] gauges. Called by the batch-extraction sites
+    ({!prepare}, [Randomized.prepare]) so each run's gauges report that
+    run's reuse; deltas land in whichever run is current at flush
+    time. *)
+
 val ball_of : ('a, 'o) prepared -> int -> int array
 (** The sorted array mapping node [v]'s view-local indices back to
     global node numbers (so its length is [v]'s ball size). Must not be

@@ -184,6 +184,7 @@ let load ~dir ~index =
 
 type writer = {
   w_fd : Unix.file_descr;
+  w_path : string;
   w_oc : out_channel;
   w_fsync_every : int;
   mutable w_since_sync : int;
@@ -213,6 +214,13 @@ let active_writers () =
   Mutex.unlock writers_lock;
   n
 
+(* Oldest-opened first, so refusal messages read in open order. *)
+let active_writer_paths () =
+  Mutex.lock writers_lock;
+  let ps = List.rev_map (fun w -> w.w_path) !writers in
+  Mutex.unlock writers_lock;
+  ps
+
 let sync w =
   flush w.w_oc;
   (try Unix.fsync w.w_fd with Unix.Unix_error _ -> ());
@@ -241,9 +249,10 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let writer_of_fd ~fsync_every fd =
+let writer_of_fd ~fsync_every ~path fd =
   {
     w_fd = fd;
+    w_path = path;
     w_oc = Unix.out_channel_of_descr fd;
     w_fsync_every = max 1 fsync_every;
     w_since_sync = 0;
@@ -264,13 +273,11 @@ let create ?(fsync_every = 1) ~dir header =
   (* A fresh attempt invalidates any previous completion claim. *)
   (try Sys.remove (done_path ~dir ~index:header.h_index)
    with Sys_error _ -> ());
+  let path = file_path ~dir ~index:header.h_index in
   let fd =
-    Unix.openfile
-      (file_path ~dir ~index:header.h_index)
-      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
-      0o644
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
   in
-  let w = writer_of_fd ~fsync_every fd in
+  let w = writer_of_fd ~fsync_every ~path fd in
   output_record w (header_json header);
   sync w;
   register w;
@@ -289,7 +296,7 @@ let resume ?(fsync_every = 1) ~dir header =
          garbage in its middle. *)
       Unix.ftruncate fd valid_bytes;
       ignore (Unix.lseek fd 0 Unix.SEEK_END);
-      let w = writer_of_fd ~fsync_every fd in
+      let w = writer_of_fd ~fsync_every ~path fd in
       register w;
       (w, chunks)
   | _ ->

@@ -95,5 +95,9 @@ val active_writers : unit -> int
     writer refuses to run while any checkpoint writer is live, so the
     two can never interleave output. *)
 
+val active_writer_paths : unit -> string list
+(** The files those writers hold open, oldest first — what the bench
+    refusal names so the operator can see {e which} shard is live. *)
+
 val flush_all : unit -> unit
 (** Flush and fsync every open writer (what the shutdown hook runs). *)

@@ -82,6 +82,13 @@ let note_hit () = Telemetry.Counter.incr c_hits
 let note_miss () = Telemetry.Counter.incr c_misses
 let note_distinct () = Telemetry.Counter.incr c_distinct
 
+(* Bulk variants: per-draw atomic increments are measurable on caches
+   sitting inside million-iteration verdict loops (Fast.corollary1),
+   so those tally locally and flush once per run. *)
+let note_hits n = Telemetry.Counter.add c_hits n
+let note_misses n = Telemetry.Counter.add c_misses n
+let note_distincts n = Telemetry.Counter.add c_distinct n
+
 type ('k, 'v) shard = {
   lock : Mutex.t;
   (* hash -> (key, value) bucket; the int key is the caller's hash *)

@@ -86,6 +86,12 @@ val note_distinct : unit -> unit
     implemented outside this module (the read-adaptive restriction
     scanner) that report into the same tallies. *)
 
+val note_hits : int -> unit
+val note_misses : int -> unit
+val note_distincts : int -> unit
+(** Bulk variants of the above, for caches on hot verdict loops that
+    tally locally and flush once per run. *)
+
 (** {1 Label-component hashing}
 
     The designated way to hash / compare the {e label} components of a

@@ -505,6 +505,50 @@ let test_summary_roundtrip_and_read () =
           check int "counts round-trip" s.Shard.s_correct r.Shard.s_correct)
     summaries
 
+(* The bench JSON writer refuses to run while checkpoint writers are
+   open, and its refusal names the open files — so the registry must
+   expose exactly the live writers' paths, in open order, and forget
+   them on close. *)
+let test_active_writer_paths () =
+  with_dir @@ fun dir ->
+  check
+    (Alcotest.list string)
+    "no writers open" []
+    (Checkpoint.active_writer_paths ());
+  let header i =
+    {
+      Checkpoint.h_workload = "synthetic";
+      h_index = i;
+      h_of = 2;
+      h_total = 100;
+      h_chunk = 10;
+    }
+  in
+  let w0 = Checkpoint.create ~dir (header 0) in
+  let w1 = Checkpoint.create ~dir (header 1) in
+  (* close is idempotent, so the guard only matters when a check below
+     fails — without it the leaked writers would poison later tests
+     through the global registry. *)
+  Fun.protect ~finally:(fun () ->
+      Checkpoint.close w0;
+      Checkpoint.close w1)
+  @@ fun () ->
+  check
+    (Alcotest.list string)
+    "both paths, oldest first"
+    [ Checkpoint.file_path ~dir ~index:0; Checkpoint.file_path ~dir ~index:1 ]
+    (Checkpoint.active_writer_paths ());
+  check int "count agrees" 2 (Checkpoint.active_writers ());
+  Checkpoint.close w0;
+  check
+    (Alcotest.list string)
+    "closed writer forgotten"
+    [ Checkpoint.file_path ~dir ~index:1 ]
+    (Checkpoint.active_writer_paths ());
+  Checkpoint.close w1;
+  check (Alcotest.list string) "all closed" []
+    (Checkpoint.active_writer_paths ())
+
 let test_backoff_deterministic_and_capped () =
   for index = 0 to 5 do
     for attempt = 0 to 9 do
@@ -558,6 +602,8 @@ let () =
             test_resume_of_finished_shard_is_noop;
           Alcotest.test_case "resumed real workload digest" `Slow
             test_resumed_real_workload_digest;
+          Alcotest.test_case "active writer paths tracked" `Quick
+            test_active_writer_paths;
         ] );
       ( "supervision",
         [
