@@ -883,6 +883,233 @@ let run_check_scale ~only path =
         (filter_workloads only scale_workloads))
     ~hits_gated:hits_gated_scale ~wall_gated:[] path
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: the serve tier (BENCH_serve.json)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The load generator for a running [locald serve]: two concurrent
+   connections, three rounds of a five-request mix with distinct
+   per-request backend/seed configs, requests alternating between the
+   connections. Every response's result digest feeds one aggregate
+   [response_digest] — pinning it pins the daemon's whole
+   request-interpretation path (framing, per-request config threading,
+   warm engine reuse) to one string, exactly as the quick tier pins the
+   library entry points. Latency is measured client-side per
+   request. *)
+
+module Proto = Locald_runtime.Proto
+
+let serve_async_config seed =
+  { Proto.no_config with Proto.c_backend = Some "async"; c_sched_seed = Some seed }
+
+(* The mix: the tentpole exhaustive workload under the startup default
+   and under an explicit async scheduler (distinct configs on the same
+   workload — the engine cache must keep both), the ablation-1
+   variant, a partial-range seed sweep and the certify sweep. *)
+let serve_mix =
+  [
+    ("exhaustive-decider", None, None, Proto.no_config);
+    ("exhaustive-decider", None, None, serve_async_config 7);
+    ("exhaustive-decider-a1", None, None, Proto.no_config);
+    ("corollary1-curve", Some 0, Some 128, Proto.no_config);
+    ("certify-gmr", None, None, Proto.no_config);
+  ]
+
+let serve_rounds = 3
+let serve_connections = 2
+
+let json_member name = function
+  | Locald_runtime.Telemetry.Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let serve_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench --serve: %s\n" msg;
+      exit 1)
+    fmt
+
+(* One synchronous request on [fd]: returns the response's result
+   digest and the client-side wall time. Busy or error responses fail
+   the bench loudly — the generator never outruns the inflight bound
+   (it waits for each response), so either reply means a daemon bug. *)
+let serve_call fd ~id (workload, lo, hi, config) =
+  let req = Proto.request ~workload ?lo ?hi ~config ~id Proto.Decide in
+  let resp, wall =
+    Locald_runtime.Timing.time (fun () ->
+        Proto.write_frame fd (Proto.request_to_json req);
+        Proto.read_frame fd)
+  in
+  match resp with
+  | None -> serve_fail "daemon closed the connection mid-benchmark"
+  | Some json -> (
+      let v = Proto.response_view json in
+      if not v.Proto.v_ok then
+        serve_fail "request %d (%s) answered %s" id workload
+          (Locald_runtime.Telemetry.Json.to_string json);
+      match Option.bind v.Proto.v_result (json_member "digest") with
+      | Some (Locald_runtime.Telemetry.Json.String d) -> (d, wall)
+      | _ -> serve_fail "request %d (%s) carries no result digest" id workload)
+
+let serve_metrics_counter fd ~id name =
+  Proto.write_frame fd
+    (Proto.request_to_json (Proto.request ~id Proto.Metrics));
+  match Proto.read_frame fd with
+  | None -> serve_fail "daemon closed the connection on a metrics request"
+  | Some json -> (
+      let v = Proto.response_view json in
+      match
+        Option.bind v.Proto.v_result (fun r ->
+            Option.bind (json_member "counters" r) (json_member name))
+      with
+      | Some (Locald_runtime.Telemetry.Json.Int n) -> n
+      | _ -> serve_fail "metrics response carries no %S counter" name)
+
+type serve_entry = {
+  se_digests : string list;  (* per-request result digests, in order *)
+  se_wall : float;
+  se_requests : int;
+  se_mean_ms : float;
+  se_max_ms : float;
+  se_memo_hits : int;
+}
+
+let serve_entry_key = Printf.sprintf "serve-mixed@c%d" serve_connections
+
+let run_serve_load socket =
+  let conns =
+    Array.init serve_connections (fun _ -> Proto.connect_unix socket)
+  in
+  let digests = ref [] in
+  let latencies = ref [] in
+  let id = ref 0 in
+  let (), wall =
+    Locald_runtime.Timing.time (fun () ->
+        for _round = 1 to serve_rounds do
+          List.iter
+            (fun spec ->
+              incr id;
+              (* Alternate connections per request: the daemon always
+                 has both connections live with interleaved traffic. *)
+              let fd = conns.(!id mod serve_connections) in
+              let digest, dt = serve_call fd ~id:!id spec in
+              digests := digest :: !digests;
+              latencies := dt :: !latencies)
+            serve_mix
+        done)
+  in
+  let hits = serve_metrics_counter conns.(0) ~id:0 "memo.hits" in
+  Array.iter Unix.close conns;
+  let lats = List.rev_map (fun s -> s *. 1000.) !latencies in
+  let requests = List.length lats in
+  {
+    se_digests = List.rev !digests;
+    se_wall = wall;
+    se_requests = requests;
+    se_mean_ms = List.fold_left ( +. ) 0. lats /. float_of_int requests;
+    se_max_ms = List.fold_left Float.max 0. lats;
+    se_memo_hits = hits;
+  }
+
+let write_serve_entry path e =
+  (* Same one-entry-per-line layout as the other tiers, so
+     [parse_pins] reads the pin back. Only [response_digest] is
+     pinned; the timing fields are informational. *)
+  let json =
+    Locald_runtime.Telemetry.Json.(
+      Obj
+        [
+          ("wall_s", Float (Float.round (e.se_wall *. 1e6) /. 1e6));
+          ("connections", Int serve_connections);
+          ("requests", Int e.se_requests);
+          ("rps", Float (Float.round (float_of_int e.se_requests /. e.se_wall) /. 1.));
+          ("mean_ms", Float (Float.round (e.se_mean_ms *. 1e3) /. 1e3));
+          ("max_ms", Float (Float.round (e.se_max_ms *. 1e3) /. 1e3));
+          ("memo_hits", Int e.se_memo_hits);
+          ("result_digest", String (digest_of e.se_digests));
+        ])
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  %s: %s\n}\n"
+    (Locald_runtime.Telemetry.Json.escape_string serve_entry_key)
+    (Locald_runtime.Telemetry.Json.to_string json);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let print_serve_entry e =
+  Printf.printf
+    "%-32s conns=%d requests=%d %8.3fs  %.1f req/s  mean %.2fms  max %.2fms  \
+     memo hits %d\n  response digest %s\n%!"
+    serve_entry_key serve_connections e.se_requests e.se_wall
+    (float_of_int e.se_requests /. e.se_wall)
+    e.se_mean_ms e.se_max_ms e.se_memo_hits (digest_of e.se_digests)
+
+let run_serve_bench ~socket path =
+  print_endline "=================================================================";
+  Printf.printf " PART 6: serve tier (load generator against %s)\n" socket;
+  print_endline "=================================================================";
+  let e = run_serve_load socket in
+  print_serve_entry e;
+  write_serve_entry path e
+
+let run_check_serve ~socket path =
+  let pins = parse_pins path in
+  print_endline "=================================================================";
+  Printf.printf " CHECK: serve tier vs pins in %s\n" path;
+  print_endline "=================================================================";
+  let e = run_serve_load socket in
+  print_serve_entry e;
+  let fail = ref false in
+  (match List.assoc_opt serve_entry_key pins with
+  | None ->
+      Printf.printf "CHECK FAIL: %s has no pinned entry in %s\n"
+        serve_entry_key path;
+      fail := true
+  | Some (_, pinned_digest) ->
+      if digest_of e.se_digests <> pinned_digest then begin
+        Printf.printf
+          "CHECK FAIL: %s response digest %s differs from pinned %s\n"
+          serve_entry_key (digest_of e.se_digests) pinned_digest;
+        fail := true
+      end);
+  (* Cross-tier pin: the mix's first request is the full-range
+     exhaustive decider under the daemon's default config — its result
+     digest must equal the quick tier's committed one-shot digest.
+     That is the acceptance contract in one line: a resident daemon
+     answers byte-identically to a cold CLI run. *)
+  (match parse_pins "BENCH_quick.json" with
+  | exception Sys_error _ ->
+      print_endline "CHECK: BENCH_quick.json not found; cross-tier pin skipped"
+  | quick_pins -> (
+      match
+        (List.assoc_opt "exhaustive-decider@j1" quick_pins, e.se_digests)
+      with
+      | Some (_, quick_digest), first :: _ ->
+          if first <> quick_digest then begin
+            Printf.printf
+              "CHECK FAIL: serve exhaustive-decider digest %s differs from \
+               quick-tier pin %s\n"
+              first quick_digest;
+            fail := true
+          end
+      | _ ->
+          print_endline
+            "CHECK: no exhaustive-decider@j1 pin; cross-tier pin skipped"));
+  (* The daemon's reason to exist: the repeated mix must hit warm
+     memo tables across requests. *)
+  if e.se_memo_hits <= 0 then begin
+    Printf.printf
+      "CHECK FAIL: daemon reports no cross-request memo hits after %d \
+       repeated-mix requests\n"
+      e.se_requests;
+    fail := true
+  end;
+  if !fail then exit 1;
+  Printf.printf
+    "CHECK: serve response digest matches its pin; cross-request memo hits = \
+     %d\n"
+    e.se_memo_hits
+
 (* [--scale]/[--check-scale] accept an optional pin path plus any
    number of [--only WORKLOAD] filters (the CI smoke job runs the cheap
    scale workloads only; pins for filtered-out rows are ignored). *)
@@ -917,6 +1144,15 @@ let () =
   | _ :: "--check-scale" :: rest ->
       let path, only = parse_path_and_only ~default:"BENCH_scale.json" rest in
       run_check_scale ~only path
+  | _ :: "--serve" :: socket :: rest ->
+      let path = match rest with p :: _ -> p | [] -> "BENCH_serve.json" in
+      run_serve_bench ~socket path
+  | _ :: "--check-serve" :: socket :: rest ->
+      let path = match rest with p :: _ -> p | [] -> "BENCH_serve.json" in
+      run_check_serve ~socket path
+  | _ :: (("--serve" | "--check-serve") as flag) :: [] ->
+      Printf.eprintf "bench: %s needs a daemon socket path\n" flag;
+      exit Locald_runtime.Shard.Exit.usage
   | _ ->
       regenerate_paper_artefacts ();
       run_ablations ();

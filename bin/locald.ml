@@ -1274,6 +1274,207 @@ let sweep_cmd =
       $ json_flag $ jobs_opt $ memo_opt $ trace_opt $ backend_opt
       $ sched_seed_opt $ fifo_flag)
 
+(* ------------------------------------------------------------------ *)
+(* The decision service                                                *)
+(* ------------------------------------------------------------------ *)
+
+let socket_opt =
+  Arg.(
+    value & opt string "locald.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default $(b,locald.sock)).")
+
+let tcp_port_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp-port" ] ~docv:"PORT"
+        ~doc:"Also (serve) or instead (client) speak TCP on loopback \
+              $(docv).")
+
+let serve_cmd =
+  let run socket tcp_port max_inflight max_engines memo_capacity jobs memo
+      trace backend sched_seed fifo =
+    (* Where the one-shot CLI warns and falls back on a typo'd
+       environment, the daemon refuses to start: a silently coerced
+       backend would corrupt every pinned digest it serves. *)
+    (match Service.env_problems () with
+    | [] -> ()
+    | problems ->
+        List.iter (fun p -> prerr_endline ("locald serve: " ^ p)) problems;
+        exit Shard.Exit.usage);
+    if max_inflight < 1 then usage_error "--max-inflight must be positive";
+    if max_engines < 1 then usage_error "--max-engines must be positive";
+    if memo_capacity < 1 then usage_error "--memo-capacity must be positive";
+    apply_jobs jobs;
+    apply_memo memo;
+    apply_trace trace;
+    apply_backend backend sched_seed fifo;
+    (* Metrics on: the serve.request span then feeds the latency
+       histograms a metrics request reports. *)
+    Telemetry.set_metrics true;
+    (* Replace the batch CLI's flush-and-redeliver handlers (installed
+       in main below): re-delivery kills in-flight connections, which
+       is precisely wrong for a daemon. Here the signal only flips the
+       drain flag; the loop finishes what it owes and returns, and the
+       normal exit path flushes the trace sink. *)
+    let drain = Atomic.make false in
+    let graceful = Sys.Signal_handle (fun _ -> Atomic.set drain true) in
+    Sys.set_signal Sys.sigterm graceful;
+    Sys.set_signal Sys.sigint graceful;
+    let svc = Service.create ~max_engines ~memo_capacity () in
+    let listeners =
+      Serve.listener_unix socket
+      ::
+      (match tcp_port with
+      | Some port -> [ Serve.listener_tcp ~port () ]
+      | None -> [])
+    in
+    Printf.printf "serve: listening on %s%s (inflight <= %d, engines <= %d)\n%!"
+      socket
+      (match tcp_port with
+      | Some port -> Printf.sprintf " and 127.0.0.1:%d" port
+      | None -> "")
+      max_inflight max_engines;
+    let stats =
+      Serve.run ~max_inflight ~drain ~listeners
+        ~handlers:(Service.handlers svc) ()
+    in
+    (try Sys.remove socket with Sys_error _ -> ());
+    Printf.printf
+      "serve: drained — %d requests (%d busy, %d malformed) over %d \
+       connections\n%!"
+      stats.Serve.served stats.Serve.busy stats.Serve.malformed
+      stats.Serve.connections;
+    exit Shard.Exit.ok
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Bound on queued requests (default 64): frames arriving \
+             past it are answered $(b,busy) immediately instead of \
+             buffered without bound.")
+  in
+  let max_engines =
+    Arg.(
+      value & opt int Service.default_max_engines
+      & info [ "max-engines" ] ~docv:"N"
+          ~doc:
+            "Bound on cached engines — (workload, backend, memo) \
+             prepared-view/memo structures kept warm across requests \
+             (default 8, LRU eviction).")
+  in
+  let memo_capacity =
+    Arg.(
+      value & opt int Service.default_memo_capacity
+      & info [ "memo-capacity" ] ~docv:"N"
+          ~doc:
+            "Bound on each engine's decide-once memo entries (default \
+             65536); overflowing drops the older half. Transparent to \
+             results.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived decision service: accept decide / certify / \
+          metrics / shutdown requests as length-prefixed JSON frames \
+          over a Unix-domain (and optionally TCP) socket. Engines and \
+          their decide-once memo tables persist across requests; \
+          per-request backend/seed/memo/jobs override the startup \
+          defaults without touching them. SIGTERM/SIGINT (or a \
+          shutdown request) drain: in-flight requests are answered, \
+          then the daemon exits 0.")
+    Term.(
+      const run $ socket_opt $ tcp_port_opt $ max_inflight $ max_engines
+      $ memo_capacity $ jobs_opt $ memo_opt $ trace_opt $ backend_opt
+      $ sched_seed_opt $ fifo_flag)
+
+let client_cmd =
+  let run op socket tcp_port workload lo hi backend sched_seed fifo memo jobs
+      id =
+    let config =
+      {
+        Proto.c_backend =
+          Option.map Locald_local.Backend.to_string backend;
+        c_sched_seed = sched_seed;
+        c_fifo = (if fifo then Some true else None);
+        c_memo = Option.map Memo.mode_to_string memo;
+        c_jobs = jobs;
+      }
+    in
+    let req = Proto.request ?workload ?lo ?hi ~config ~id op in
+    let fd =
+      match tcp_port with
+      | Some port -> Proto.connect_tcp ~port ()
+      | None -> Proto.connect_unix socket
+    in
+    Proto.write_frame fd (Proto.request_to_json req);
+    match Proto.read_frame fd with
+    | None ->
+        prerr_endline "locald client: connection closed without a response";
+        exit Shard.Exit.incomplete
+    | Some json ->
+        print_endline (Telemetry.Json.to_string json);
+        let v = Proto.response_view json in
+        if v.Proto.v_ok then exit Shard.Exit.ok
+        else if v.Proto.v_busy then exit Shard.Exit.incomplete
+        else exit Shard.Exit.mismatch
+  in
+  let op =
+    let ops =
+      [
+        ("decide", Proto.Decide); ("certify", Proto.Certify);
+        ("metrics", Proto.Metrics); ("ping", Proto.Ping);
+        ("shutdown", Proto.Shutdown);
+      ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum ops)) None
+      & info [] ~docv:"OP"
+          ~doc:"One of $(b,decide), $(b,certify), $(b,metrics), \
+                $(b,ping), $(b,shutdown).")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Sweep workload for $(b,decide) (default \
+                $(b,exhaustive-decider)).")
+  in
+  let lo =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lo" ] ~docv:"RANK" ~doc:"Range start (default 0).")
+  in
+  let hi =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "hi" ] ~docv:"RANK"
+          ~doc:"Range end, exclusive (default: the whole rank space).")
+  in
+  let id =
+    Arg.(
+      value & opt int 0
+      & info [ "id" ] ~docv:"N" ~doc:"Request id echoed in the response.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "One request against a running $(b,locald serve): send a \
+          frame, print the JSON response. Exit 0 on an ok response, 2 \
+          on busy, 3 on an error response. $(b,--backend) / \
+          $(b,--sched-seed) / $(b,--fifo) / $(b,--memo) / $(b,--jobs) \
+          travel as per-request configuration.")
+    Term.(
+      const run $ op $ socket_opt $ tcp_port_opt $ workload $ lo $ hi
+      $ backend_opt $ sched_seed_opt $ fifo_flag $ memo_opt $ jobs_opt $ id)
+
 let main =
   let doc =
     "Reproduction of `What can be decided locally without identifiers?' \
@@ -1286,7 +1487,7 @@ let main =
       diagonal_cmd; oi_cmd; hereditary_cmd; construction_cmd; warmups_cmd;
       faults_cmd; certify_cmd; lint_cmd; analyze_cmd; gmr_cmd; coverage_cmd;
       metrics_cmd;
-      shard_cmd; merge_cmd; sweep_cmd; all_cmd;
+      shard_cmd; merge_cmd; sweep_cmd; serve_cmd; client_cmd; all_cmd;
     ]
 
 let () =

@@ -22,8 +22,14 @@ type workload = {
   w_expected : bool;
   w_chunk : int;
   w_geometry : unit -> geometry;
-  w_eval : unit -> lo:int -> hi:int -> Shard.chunk_result;
-  w_unsharded : unit -> Decider.evaluation;
+  w_eval :
+    ?backend:Backend.t ->
+    ?memo:Memo.mode ->
+    ?memo_capacity:int ->
+    unit ->
+    lo:int -> hi:int -> Shard.chunk_result;
+  w_unsharded :
+    ?backend:Backend.t -> ?memo:Memo.mode -> unit -> Decider.evaluation;
 }
 
 let regime = Ids.f_linear_plus 1
@@ -43,10 +49,21 @@ let tree_workload ?backend ~name ~description ~arity ~r ~apex ~expected ~chunk
     let n = Labelled.order lg in
     { g_n = n; g_bound = n; g_total = Orbit.perm ~bound:n ~k:n }
   in
-  let eval () =
+  (* Per-request configuration: an explicit [?backend] / [?memo]
+     overrides the workload's construction-time backend and then the
+     ambient session defaults — the serve daemon always passes them, so
+     its requests never read (let alone mutate) the process-global
+     defaults. The CLI paths pass nothing and behave as before. *)
+  let eval ?backend:req_backend ?memo ?memo_capacity () =
     let lg = Lazy.force lg in
     let n = Labelled.order lg in
-    let prep = Runner.prepare ~memo:(Memo.default_mode ()) ?backend alg lg in
+    let backend =
+      match req_backend with Some _ -> req_backend | None -> backend
+    in
+    let memo =
+      match memo with Some m -> m | None -> Memo.default_mode ()
+    in
+    let prep = Runner.prepare ~memo ?memo_capacity ?backend alg lg in
     fun ~lo ~hi ->
       let rv =
         Decider.evaluate_exhaustive_range ~prep ~bound:n ~lo ~hi alg ~expected
@@ -58,11 +75,14 @@ let tree_workload ?backend ~name ~description ~arity ~r ~apex ~expected ~chunk
         r_fail = Option.map (fun (rank, _, _) -> rank) rv.Decider.rv_failure;
       }
   in
-  let unsharded () =
+  let unsharded ?backend:req_backend ?memo () =
     let lg = Lazy.force lg in
     let n = Labelled.order lg in
-    Decider.evaluate_exhaustive ?backend ~bound:n alg ~expected ~instance:name
-      lg
+    let backend =
+      match req_backend with Some _ -> req_backend | None -> backend
+    in
+    Decider.evaluate_exhaustive ?backend ?memo ~bound:n alg ~expected
+      ~instance:name lg
   in
   {
     w_name = name;
@@ -105,7 +125,12 @@ let corollary1_workload ~name ~description ~machine ~expected ~total ~chunk ()
   let verdict_at fast k =
     Verdict.accepts (Gmr_deciders.Fast.corollary1 fast (Random.State.make [| k |]))
   in
-  let eval () =
+  (* Seed-ranked: there is no backend or memo axis (the randomised
+     decider neither extracts runner views nor memoises), so the
+     per-request configuration is accepted and inert — the same
+     workload name answers identically whatever config a serve request
+     attaches. *)
+  let eval ?backend:_ ?memo:_ ?memo_capacity:_ () =
     let t = Lazy.force built in
     let fast = Gmr_deciders.Fast.prepare t.Gmr.lg in
     fun ~lo ~hi ->
@@ -119,7 +144,7 @@ let corollary1_workload ~name ~description ~machine ~expected ~total ~chunk ()
       done;
       { Shard.r_correct = !correct; r_wrong = !wrong; r_fail = !fail }
   in
-  let unsharded () =
+  let unsharded ?backend:_ ?memo:_ () =
     let t = Lazy.force built in
     let fast = Gmr_deciders.Fast.prepare t.Gmr.lg in
     let correct = ref 0 and wrong = ref 0 in
@@ -173,7 +198,10 @@ let certify_gmr_workload ~name ~description ~machine ~chunk () =
     in
     out && Locald_analysis.Trace.reads_input_ids tr
   in
-  let eval () =
+  (* Node-ranked provenance traces under the access monitor: direct
+     [View.extract], no backend or memo axis — per-request
+     configuration is accepted and inert, as for the curve workload. *)
+  let eval ?backend:_ ?memo:_ ?memo_capacity:_ () =
     let t = Lazy.force built in
     let lg = t.Gmr.lg in
     let n = Gmr.order t in
@@ -191,7 +219,7 @@ let certify_gmr_workload ~name ~description ~machine ~chunk () =
       done;
       { Shard.r_correct = !correct; r_wrong = !wrong; r_fail = !fail }
   in
-  let unsharded () =
+  let unsharded ?backend:_ ?memo:_ () =
     let t = Lazy.force built in
     let lg = t.Gmr.lg in
     let n = Gmr.order t in

@@ -24,14 +24,33 @@ type workload = {
   w_chunk : int;      (** default checkpoint chunk size, in ranks *)
   w_geometry : unit -> geometry;
   w_eval :
-    unit -> lo:int -> hi:int -> Locald_runtime.Shard.chunk_result;
+    ?backend:Locald_local.Backend.t ->
+    ?memo:Locald_runtime.Memo.mode ->
+    ?memo_capacity:int ->
+    unit ->
+    lo:int -> hi:int -> Locald_runtime.Shard.chunk_result;
       (** [w_eval ()] builds the instance, prepared views and
           decide-once memo once; the returned closure evaluates rank
           ranges against them. Single-process state: build one per
-          shard process. *)
-  w_unsharded : unit -> Locald_decision.Decider.evaluation;
+          shard process (or one per serve-daemon engine, shared across
+          requests — the memo table is the cross-request cache, so
+          long-lived holders should pass [memo_capacity]).
+
+          The optional config is {e per-request}: it overrides first
+          the workload's construction-time backend and then the
+          ambient session defaults, without reading or mutating the
+          process-global [Backend.default] / [Memo.default_mode] when
+          given. Workloads without a backend/memo axis (the
+          seed-ranked curve, the certify sweep) accept and ignore it;
+          every configuration is digest-transparent. *)
+  w_unsharded :
+    ?backend:Locald_local.Backend.t ->
+    ?memo:Locald_runtime.Memo.mode ->
+    unit ->
+    Locald_decision.Decider.evaluation;
       (** The reference unsharded run ([evaluate_exhaustive], quotient
-          and all) the merged result must reproduce. *)
+          and all) the merged result must reproduce, under the same
+          per-request configuration rules as [w_eval]. *)
 }
 
 val all : workload list

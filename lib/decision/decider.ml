@@ -98,11 +98,14 @@ let evaluate ?backend ~rng ~regime ~assignments alg ~expected ~instance lg =
    the tallies follow by arithmetic and are byte-identical to the naive
    loop's; any rejection instead falls back transparently to the naive
    loop, whose memo table the scan has already partly warmed. *)
-let evaluate_exhaustive ?(quotient = true) ?backend ~bound alg ~expected
-    ~instance lg =
+let evaluate_exhaustive ?(quotient = true) ?backend ?memo ?memo_capacity
+    ~bound alg ~expected ~instance lg =
   Telemetry.span "decider.evaluate_exhaustive" @@ fun () ->
   let n = Locald_graph.Labelled.order lg in
-  let prep = Runner.prepare ~memo:(Memo.default_mode ()) ?backend alg lg in
+  let memo =
+    match memo with Some m -> m | None -> Memo.default_mode ()
+  in
+  let prep = Runner.prepare ~memo ?memo_capacity ?backend alg lg in
   let naive () =
     tally ~prep ~expected ~instance ~n
       (Ids.enumerate_injections ~n ~bound)
@@ -178,7 +181,8 @@ type range_evaluation = {
   rv_failure : (int * Ids.t * Verdict.t) option;
 }
 
-let evaluate_exhaustive_range ?prep ?backend ~bound ~lo ~hi alg ~expected lg =
+let evaluate_exhaustive_range ?prep ?backend ?memo ?memo_capacity ~bound ~lo
+    ~hi alg ~expected lg =
   Telemetry.span "decider.evaluate_range" @@ fun () ->
   let n = Locald_graph.Labelled.order lg in
   let total = Orbit.perm ~bound ~k:n in
@@ -190,7 +194,11 @@ let evaluate_exhaustive_range ?prep ?backend ~bound ~lo ~hi alg ~expected lg =
   let prep =
     match prep with
     | Some p -> p
-    | None -> Runner.prepare ~memo:(Memo.default_mode ()) ?backend alg lg
+    | None ->
+        let memo =
+          match memo with Some m -> m | None -> Memo.default_mode ()
+        in
+        Runner.prepare ~memo ?memo_capacity ?backend alg lg
   in
   let verdict_of ids = Verdict.of_outputs (Runner.run_prepared prep ~ids) in
   let correct = ref 0 and wrong = ref 0 and failure = ref None in

@@ -57,6 +57,8 @@ val evaluate :
 val evaluate_exhaustive :
   ?quotient:bool ->
   ?backend:Backend.t ->
+  ?memo:Locald_runtime.Memo.mode ->
+  ?memo_capacity:int ->
   bound:int ->
   ('a, bool) Algorithm.t ->
   expected:bool ->
@@ -72,7 +74,12 @@ val evaluate_exhaustive :
     Whenever any node rejects any restriction, evaluation falls back
     transparently to the naive assignment loop (with the decide-once
     memo already warm), so the result — counts, and the first-failure
-    witness — is byte-identical to [quotient:false] in every case. *)
+    witness — is byte-identical to [quotient:false] in every case.
+    [memo] / [memo_capacity] configure the implicit preparation's
+    decide-once table explicitly (default:
+    {!Locald_runtime.Memo.default_mode}, unbounded) — the per-request
+    form long-lived services use instead of mutating the session
+    default. All memo configurations are digest-transparent. *)
 
 type range_evaluation = {
   rv_lo : int;
@@ -87,6 +94,8 @@ type range_evaluation = {
 val evaluate_exhaustive_range :
   ?prep:('a, bool) Runner.prepared ->
   ?backend:Backend.t ->
+  ?memo:Locald_runtime.Memo.mode ->
+  ?memo_capacity:int ->
   bound:int ->
   lo:int ->
   hi:int ->
@@ -100,7 +109,9 @@ val evaluate_exhaustive_range :
     partition on. Any family of ranges that tiles [\[0, total)] sums
     (counts) and minimises (failure rank) to exactly
     [evaluate_exhaustive]'s answer. Pass [prep] to share one
-    prepared-view/memo structure across many ranges within a process.
+    prepared-view/memo structure across many ranges within a process;
+    without it, [memo] / [memo_capacity] configure the implicit
+    preparation as in {!evaluate_exhaustive}.
     @raise Invalid_argument on a range outside [\[0, total\]]. *)
 
 val all_correct : evaluation -> bool

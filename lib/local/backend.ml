@@ -13,6 +13,11 @@ let truthy s =
   | "1" | "true" | "yes" | "on" -> true
   | _ -> false
 
+let falsy s =
+  match String.trim (String.lowercase_ascii s) with
+  | "0" | "false" | "no" | "off" -> true
+  | _ -> false
+
 let env_config () =
   let sched_seed =
     match Sys.getenv_opt "LOCALD_SCHED_SEED" with
@@ -26,10 +31,52 @@ let env_config () =
   in
   { Async_runner.sched_seed; fifo }
 
+(* What [env_config]/[initial] would silently coerce: a typo'd backend
+   falls back to [Sync], a typo'd seed to [0], a typo'd fifo flag to
+   [false]. For a one-shot run that only misreports what was measured;
+   for the serve daemon it corrupts pinned digests, so the problems are
+   surfaced — warned at module init here, rejected outright by serve.
+   The empty string counts as unset. *)
+let env_problems () =
+  let set name =
+    match Sys.getenv_opt name with
+    | Some s when String.trim s <> "" -> Some s
+    | _ -> None
+  in
+  List.concat
+    [
+      (match set "LOCALD_BACKEND" with
+      | Some s when of_string s = None ->
+          [
+            Printf.sprintf "invalid LOCALD_BACKEND=%S (expected sync | async)"
+              s;
+          ]
+      | _ -> []);
+      (match set "LOCALD_SCHED_SEED" with
+      | Some s when int_of_string_opt (String.trim s) = None ->
+          [
+            Printf.sprintf "invalid LOCALD_SCHED_SEED=%S (expected an integer)"
+              s;
+          ]
+      | _ -> []);
+      (match set "LOCALD_SCHED_FIFO" with
+      | Some s when (not (truthy s)) && not (falsy s) ->
+          [
+            Printf.sprintf
+              "invalid LOCALD_SCHED_FIFO=%S (expected 1/true/yes/on or \
+               0/false/no/off)"
+              s;
+          ]
+      | _ -> []);
+    ]
+
 (* The session default: LOCALD_BACKEND (with LOCALD_SCHED_SEED and
    LOCALD_SCHED_FIFO refining the async config), then the synchronous
    engine. Same idiom as Memo's LOCALD_MEMO default. *)
 let initial () =
+  List.iter
+    (fun p -> Printf.eprintf "locald: warning: %s\n%!" p)
+    (env_problems ());
   match Sys.getenv_opt "LOCALD_BACKEND" with
   | Some s -> (
       match of_string ~config:(env_config ()) s with
@@ -37,16 +84,20 @@ let initial () =
       | None -> Sync)
   | None -> Sync
 
-let default_backend = ref (initial ())
+(* An [Atomic.t], not a [ref]: the serve daemon's event loop reads the
+   session default while pool domains may still be running work that
+   reads it too; per-request backends are threaded explicitly through
+   [Sweeps.w_eval] and never mutate this. *)
+let default_backend = Atomic.make (initial ())
 
-let default () = !default_backend
+let default () = Atomic.get default_backend
 
-let set_default b = default_backend := b
+let set_default b = Atomic.set default_backend b
 
 let with_default b f =
-  let saved = !default_backend in
-  default_backend := b;
-  Fun.protect ~finally:(fun () -> default_backend := saved) f
+  let saved = Atomic.get default_backend in
+  Atomic.set default_backend b;
+  Fun.protect ~finally:(fun () -> Atomic.set default_backend saved) f
 
 let pp ppf b =
   match b with

@@ -26,13 +26,26 @@ val of_string : ?config:Async_runner.config -> string -> t option
 
 val default : unit -> t
 (** The ambient backend: the last {!set_default}, initially from the
-    environment, else [Sync]. *)
+    environment, else [Sync]. Stored in an [Atomic.t], so reads are
+    safe across domains — but long-lived services must thread
+    per-request backends explicitly (the [?backend] parameters
+    downstream) instead of mutating the ambient default. *)
 
 val set_default : t -> unit
 
 val with_default : t -> (unit -> 'a) -> 'a
 (** Run a thunk under a temporary ambient backend, restoring the
     previous one even on exceptions — what the cross-backend test
-    battery uses. *)
+    battery uses. Process-global: not for concurrent per-request
+    configuration. *)
+
+val env_problems : unit -> string list
+(** Human-readable complaints about the backend environment: an
+    unrecognised [LOCALD_BACKEND], a non-integer [LOCALD_SCHED_SEED],
+    or an unrecognised [LOCALD_SCHED_FIFO] (the empty string counts as
+    unset). Module initialisation warns about these on stderr once and
+    then falls back to [Sync]/[0]/[false]; the serve daemon refuses to
+    start instead, because a silently coerced backend corrupts pinned
+    digests. *)
 
 val pp : Format.formatter -> t -> unit

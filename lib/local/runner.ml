@@ -63,7 +63,7 @@ let sync_scratch_gauges () =
   let delta = cur - Atomic.exchange last_scratch_allocs cur in
   Locald_runtime.Telemetry.Gauge.add g_scratch_allocs (float_of_int delta)
 
-let prepare ?(memo = Locald_runtime.Memo.Off) ?backend alg lg =
+let prepare ?(memo = Locald_runtime.Memo.Off) ?memo_capacity ?backend alg lg =
   Locald_runtime.Telemetry.span "runner.prepare" @@ fun () ->
   Fun.protect ~finally:sync_scratch_gauges @@ fun () ->
   {
@@ -85,7 +85,8 @@ let prepare ?(memo = Locald_runtime.Memo.Off) ?backend alg lg =
     p_memo =
       (match memo with
       | Locald_runtime.Memo.Off -> None
-      | Exact_ids | Order_type -> Some (Locald_runtime.Memo.create_node_ids ()));
+      | Exact_ids | Order_type ->
+          Some (Locald_runtime.Memo.create_node_ids ?capacity:memo_capacity ()));
   }
 
 let prepared_size prep = prep.p_order

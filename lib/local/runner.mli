@@ -37,6 +37,7 @@ type ('a, 'o) prepared
 
 val prepare :
   ?memo:Locald_runtime.Memo.mode ->
+  ?memo_capacity:int ->
   ?backend:Backend.t ->
   ('a, 'o) Algorithm.t -> 'a Labelled.t -> ('a, 'o) prepared
 (** Extract all views once ([Labelled.order lg] extractions —
@@ -53,7 +54,13 @@ val prepare :
     {e not} pure functions of their view (e.g. per-node randomness)
     must keep the default. [Memo.Order_type] additionally collapses
     keys to the restriction's rank pattern, which is only sound for
-    order-invariant deciders — opt in knowingly. *)
+    order-invariant deciders — opt in knowingly.
+
+    [memo_capacity] bounds the attached table's live entries
+    ({!Locald_runtime.Memo.create}'s [capacity]); eviction recomputes
+    dropped keys and never changes outputs. Long-lived preparations —
+    the serve daemon's cross-request engines — always pass a bound;
+    one-shot runs default to unbounded. *)
 
 val prepared_size : ('a, 'o) prepared -> int
 (** Order of the underlying graph. *)

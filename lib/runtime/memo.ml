@@ -32,10 +32,30 @@ let mode_of_string = function
   | "order" | "order-type" -> Some Order_type
   | _ -> None
 
+(* An unrecognised LOCALD_MEMO used to coerce silently to the default
+   mode; a typo'd mode is harmless for digests (every mode is
+   transparent) but lies about what was measured, so it is reported.
+   The empty string counts as unset — the conventional way to disable a
+   variable without unsetting it. *)
+let env_problems () =
+  match Sys.getenv_opt "LOCALD_MEMO" with
+  | Some s when String.trim s <> "" -> (
+      match mode_of_string (String.trim (String.lowercase_ascii s)) with
+      | Some _ -> []
+      | None ->
+          [
+            Printf.sprintf
+              "invalid LOCALD_MEMO=%S (expected off | exact | order)" s;
+          ])
+  | _ -> []
+
 (* The session default: LOCALD_MEMO, then exact-ids (the safe default —
    order-type canonicalisation assumes order-invariance of the decider
    and must be requested explicitly). *)
 let initial_mode () =
+  List.iter
+    (fun p -> Printf.eprintf "locald: warning: %s\n%!" p)
+    (env_problems ());
   match Sys.getenv_opt "LOCALD_MEMO" with
   | Some s -> (
       match mode_of_string (String.trim (String.lowercase_ascii s)) with
@@ -43,11 +63,16 @@ let initial_mode () =
       | None -> Exact_ids)
   | None -> Exact_ids
 
-let default = ref (initial_mode ())
+(* An [Atomic.t], not a [ref]: the serve daemon reads the session
+   default from its event-loop thread while nothing forbids another
+   domain from calling [set_default_mode]; per-request modes are
+   threaded explicitly (see {!Locald_core.Service}) and never pass
+   through here. *)
+let default = Atomic.make (initial_mode ())
 
-let default_mode () = !default
+let default_mode () = Atomic.get default
 
-let set_default_mode m = default := m
+let set_default_mode m = Atomic.set default m
 
 type stats = { hits : int; misses : int; distinct : int }
 
@@ -67,6 +92,7 @@ let add_stats a b =
 let c_hits = Telemetry.Counter.make "memo.hits"
 let c_misses = Telemetry.Counter.make "memo.misses"
 let c_distinct = Telemetry.Counter.make "memo.distinct"
+let c_evictions = Telemetry.Counter.make "memo.evictions"
 
 let run_stats () =
   {
@@ -91,34 +117,50 @@ let note_distincts n = Telemetry.Counter.add c_distinct n
 
 type ('k, 'v) shard = {
   lock : Mutex.t;
-  (* hash -> (key, value) bucket; the int key is the caller's hash *)
-  table : (int, ('k * 'v) list ref) Hashtbl.t;
+  (* hash -> (key, value, insertion stamp) bucket; the int key is the
+     caller's hash, the stamp orders entries for eviction *)
+  table : (int, ('k * 'v * int) list ref) Hashtbl.t;
+  mutable tick : int;  (* stamps handed out so far, under [lock] *)
+  mutable count : int; (* live entries, under [lock] *)
 }
 
 type ('k, 'v) t = {
   hash : 'k -> int;
   equal : 'k -> 'k -> bool;
   mask : int;
+  (* Per-shard entry bound; [max_int] when the table is unbounded. *)
+  cap : int;
   shards : ('k, 'v) shard array;
   s_hits : int Atomic.t;
   s_misses : int Atomic.t;
   s_distinct : int Atomic.t;
+  s_evictions : int Atomic.t;
 }
 
 let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
 
-let create ?(shards = 16) ~hash ~equal () =
+let create ?(shards = 16) ?capacity ~hash ~equal () =
   let count = pow2_at_least (max 1 shards) 1 in
+  let cap =
+    match capacity with
+    | None -> max_int
+    (* Never below 2 per shard, or eviction would thrash the very entry
+       that was just stored. *)
+    | Some c -> max 2 (max 1 c / count)
+  in
   {
     hash;
     equal;
     mask = count - 1;
+    cap;
     shards =
       Array.init count (fun _ ->
-          { lock = Mutex.create (); table = Hashtbl.create 64 });
+          { lock = Mutex.create (); table = Hashtbl.create 64;
+            tick = 0; count = 0 });
     s_hits = Atomic.make 0;
     s_misses = Atomic.make 0;
     s_distinct = Atomic.make 0;
+    s_evictions = Atomic.make 0;
   }
 
 let stats t =
@@ -128,12 +170,55 @@ let stats t =
     distinct = Atomic.get t.s_distinct;
   }
 
+let evictions t = Atomic.get t.s_evictions
+
+(* A snapshot, not a fence: shard counts are read without their locks,
+   so a concurrent store can be missed — fine for the monitoring and
+   test uses this serves. *)
+let size t = Array.fold_left (fun acc s -> acc + s.count) 0 t.shards
+
 let bucket_find equal key bucket =
   let rec go = function
     | [] -> None
-    | (k, v) :: rest -> if equal key k then Some v else go rest
+    | (k, v, _) :: rest -> if equal key k then Some v else go rest
   in
   go bucket
+
+(* Drop the older half of a full shard, by insertion stamp. Must run
+   under the shard lock. Halving (rather than evicting one) keeps the
+   amortised cost O(1) per store: a full scan every cap/2 insertions.
+   Recency here is insertion order, not access order — cheaper than
+   LRU stamping on every hit, and the enumeration workloads revisit
+   keys in waves for which insertion order is the right proxy. *)
+let evict_older_half t shard =
+  let cutoff = shard.tick - max 1 (t.cap / 2) in
+  let dropped = ref 0 in
+  Hashtbl.filter_map_inplace
+    (fun _ bucket ->
+      let kept = List.filter (fun (_, _, stamp) -> stamp > cutoff) !bucket in
+      match kept with
+      | [] ->
+          dropped := !dropped + List.length !bucket;
+          None
+      | _ ->
+          dropped := !dropped + (List.length !bucket - List.length kept);
+          bucket := kept;
+          Some bucket)
+    shard.table;
+  shard.count <- shard.count - !dropped;
+  Atomic.fetch_and_add t.s_evictions !dropped |> ignore;
+  Telemetry.Counter.add c_evictions !dropped
+
+let store_under_lock t shard h key v =
+  shard.tick <- shard.tick + 1;
+  let entry = (key, v, shard.tick) in
+  (match Hashtbl.find_opt shard.table h with
+  | Some b -> b := entry :: !b
+  | None -> Hashtbl.replace shard.table h (ref [ entry ]));
+  shard.count <- shard.count + 1;
+  Atomic.incr t.s_distinct;
+  Telemetry.Counter.incr c_distinct;
+  if shard.count > t.cap then evict_older_half t shard
 
 let find_or_compute t key compute =
   let h = t.hash key land max_int in
@@ -160,18 +245,12 @@ let find_or_compute t key compute =
       (* Re-check under the lock: a sibling domain may have stored the
          key while we were computing. Keep the first stored binding so
          the table never holds duplicates — [distinct] counts stored
-         bindings and is therefore deterministic. *)
+         bindings and is therefore deterministic for an unbounded
+         table (with a capacity, an evicted key can be re-stored, so
+         [distinct] counts stores). *)
       (match Hashtbl.find_opt shard.table h with
-      | Some b ->
-          if Option.is_none (bucket_find t.equal key !b) then begin
-            b := (key, v) :: !b;
-            Atomic.incr t.s_distinct;
-            Telemetry.Counter.incr c_distinct
-          end
-      | None ->
-          Hashtbl.replace shard.table h (ref [ (key, v) ]);
-          Atomic.incr t.s_distinct;
-          Telemetry.Counter.incr c_distinct);
+      | Some b when Option.is_some (bucket_find t.equal key !b) -> ()
+      | _ -> store_under_lock t shard h key v);
       Mutex.unlock shard.lock;
       v
 
@@ -204,5 +283,5 @@ let equal_node_ids (na, (a : int array)) (nb, (b : int array)) =
   let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
   go (Array.length a - 1)
 
-let create_node_ids ?shards () =
-  create ?shards ~hash:hash_node_ids ~equal:equal_node_ids ()
+let create_node_ids ?shards ?capacity () =
+  create ?shards ?capacity ~hash:hash_node_ids ~equal:equal_node_ids ()

@@ -39,9 +39,20 @@ val mode_of_string : string -> mode option
 
 val default_mode : unit -> mode
 (** The session default: the last {!set_default_mode} (the CLI's
-    [--memo]), else [LOCALD_MEMO], else [Exact_ids]. *)
+    [--memo]), else [LOCALD_MEMO], else [Exact_ids]. Stored in an
+    [Atomic.t], so reading it from one domain while another calls
+    {!set_default_mode} is safe — but long-lived services should
+    thread per-request modes explicitly instead of mutating this. *)
 
 val set_default_mode : mode -> unit
+
+val env_problems : unit -> string list
+(** Human-readable complaints about the memo environment — currently
+    an unrecognised [LOCALD_MEMO] (the empty string counts as unset).
+    Module initialisation warns about these on stderr once and then
+    falls back to [Exact_ids]; the serve daemon refuses to start
+    instead, because a silently coerced mode misreports what a pinned
+    run measured. *)
 
 (** {1 Tables} *)
 
@@ -54,10 +65,23 @@ type stats = {
 }
 
 val create :
-  ?shards:int -> hash:('k -> int) -> equal:('k -> 'k -> bool) -> unit ->
+  ?shards:int ->
+  ?capacity:int ->
+  hash:('k -> int) -> equal:('k -> 'k -> bool) -> unit ->
   ('k, 'v) t
 (** [shards] (rounded up to a power of two, default 16) mutex-guarded
-    shards; [hash] must respect [equal]. *)
+    shards; [hash] must respect [equal].
+
+    [capacity] bounds the number of live entries (split evenly across
+    shards, at least 2 per shard). When a shard fills, the {e older
+    half} of its entries (by insertion stamp) is dropped in one sweep —
+    amortised O(1) per store, and the right recency proxy for
+    enumeration workloads that revisit keys in waves. Omitting
+    [capacity] keeps the table unbounded (the one-shot CLI behaviour);
+    the serve daemon always bounds its cross-request tables. Eviction
+    never breaks the transparency contract — a dropped key simply
+    recomputes, and [distinct] then counts stores rather than unique
+    keys. *)
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** Return the cached value for an [equal] key, else compute, store and
@@ -66,6 +90,13 @@ val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
     store wins and the table never holds duplicate keys). *)
 
 val stats : ('k, 'v) t -> stats
+
+val size : ('k, 'v) t -> int
+(** Live entries, summed over shards without taking their locks — a
+    monitoring snapshot, which with a [capacity] never exceeds it. *)
+
+val evictions : ('k, 'v) t -> int
+(** Entries dropped by capacity eviction over this table's lifetime. *)
 
 val no_stats : stats
 val add_stats : stats -> stats -> stats
@@ -111,4 +142,5 @@ val structural_equal : 'a -> 'a -> bool
 val hash_node_ids : int * int array -> int
 val equal_node_ids : int * int array -> int * int array -> bool
 
-val create_node_ids : ?shards:int -> unit -> (int * int array, 'v) t
+val create_node_ids :
+  ?shards:int -> ?capacity:int -> unit -> (int * int array, 'v) t

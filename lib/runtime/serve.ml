@@ -1,0 +1,243 @@
+(* The generic frame server under `locald serve`: a single-threaded
+   select loop multiplexing listeners and connections, with the actual
+   request semantics injected as handlers (so this module stays in
+   [lib/runtime], below the workload registry that interprets
+   requests).
+
+   Concurrency model: connections are multiplexed, requests are
+   executed {e sequentially} in arrival order — each request then
+   fans out across the domain Pool internally. That is the shape the
+   determinism story needs: two clients interleaving requests get
+   responses that are byte-identical to one-shot runs because nothing
+   about another in-flight request can influence an execution; the
+   parallelism lives inside the engine, not between requests.
+
+   Batching: each loop iteration drains every readable connection
+   completely, queueing all complete frames, then executes the queue
+   in FIFO order. Pipelined requests therefore share one select
+   round-trip, and the inflight bound applies to the queue — frames
+   arriving past it are answered [busy] immediately rather than
+   buffered without bound.
+
+   Shutdown: the [drain] atomic (set by the daemon's SIGTERM/SIGINT
+   handlers, or by a [Final] reply to a shutdown request) switches the
+   loop into drain mode — listeners close, already-buffered frames are
+   still read and executed, every queued response is flushed, and only
+   then does [run] return. In-flight work is never dropped, unlike the
+   flush-and-redeliver signal handlers of the batch CLI. *)
+
+type reply = Reply of Proto.Json.t | Final of Proto.Json.t
+
+type handlers = {
+  on_request : Proto.Json.t -> reply;
+  on_busy : inflight:int -> Proto.Json.t -> Proto.Json.t;
+  on_malformed : string -> Proto.Json.t;
+}
+
+type stats = {
+  served : int;
+  busy : int;
+  malformed : int;
+  connections : int;
+}
+
+let c_requests = Telemetry.Counter.make "serve.requests"
+let c_busy = Telemetry.Counter.make "serve.busy"
+let c_malformed = Telemetry.Counter.make "serve.malformed"
+let c_connections = Telemetry.Counter.make "serve.connections"
+
+let listener_unix path =
+  (* A stale socket file from a previous daemon would make bind fail;
+     removing it is safe because a live daemon holds the listening fd,
+     not the name. *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let listener_tcp ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Proto.decoder;
+  out : Bytes.t Queue.t;
+  mutable out_off : int;
+  mutable eof : bool;     (* stop reading: peer closed or reset *)
+  mutable closing : bool; (* close once [out] drains: corrupt framing *)
+}
+
+let run ?(max_inflight = 64) ?max_frame ?throttle_ms
+    ?(drain = Atomic.make false) ?(poll_interval = 0.05) ~listeners ~handlers
+    () =
+  (* A peer that disappears mid-write must surface as EPIPE on the
+     write call, not kill the daemon. Process-global and deliberately
+     not restored: any process hosting this loop wants it. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let served = ref 0
+  and busy = ref 0
+  and malformed = ref 0
+  and connections = ref 0 in
+  let conns : conn list ref = ref [] in
+  let queue : (conn * Proto.Json.t) Queue.t = Queue.create () in
+  let chunk = Bytes.create 65536 in
+  let draining = ref false in
+  let listeners_open = ref listeners in
+  let enqueue_out c json = Queue.add (Proto.encode_frame json) c.out in
+  let conn_queued c =
+    Queue.fold (fun acc (c', _) -> acc || c' == c) false queue
+  in
+  let close_conn c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c' != c) !conns
+  in
+  let handle_frame c = function
+    | Proto.Frame json ->
+        if Queue.length queue >= max_inflight then begin
+          incr busy;
+          Telemetry.Counter.incr c_busy;
+          enqueue_out c (handlers.on_busy ~inflight:(Queue.length queue) json)
+        end
+        else Queue.add (c, json) queue
+    | Proto.Garbage msg ->
+        incr malformed;
+        Telemetry.Counter.incr c_malformed;
+        enqueue_out c (handlers.on_malformed msg)
+    | Proto.Corrupt msg ->
+        incr malformed;
+        Telemetry.Counter.incr c_malformed;
+        enqueue_out c (handlers.on_malformed msg);
+        c.closing <- true
+  in
+  let handle_readable c =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> c.eof <- true
+    | n ->
+        Proto.feed c.dec chunk 0 n;
+        let rec go () =
+          if not c.closing then
+            match Proto.next c.dec with
+            | Some f ->
+                handle_frame c f;
+                go ()
+            | None -> ()
+        in
+        go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        Queue.clear c.out;
+        c.eof <- true;
+        c.closing <- true
+  in
+  let handle_writable c =
+    match Queue.peek_opt c.out with
+    | None -> ()
+    | Some b -> (
+        match Unix.write c.fd b c.out_off (Bytes.length b - c.out_off) with
+        | n ->
+            c.out_off <- c.out_off + n;
+            if c.out_off >= Bytes.length b then begin
+              ignore (Queue.pop c.out);
+              c.out_off <- 0
+            end
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            Queue.clear c.out;
+            c.eof <- true;
+            c.closing <- true)
+  in
+  let do_accept lfd =
+    match Unix.accept lfd with
+    | fd, _ ->
+        incr connections;
+        Telemetry.Counter.incr c_connections;
+        conns :=
+          {
+            fd;
+            dec = Proto.decoder ?max_frame ();
+            out = Queue.create ();
+            out_off = 0;
+            eof = false;
+            closing = false;
+          }
+          :: !conns
+    | exception Unix.Unix_error _ -> ()
+  in
+  let running = ref true in
+  while !running do
+    if Atomic.get drain && not !draining then begin
+      draining := true;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !listeners_open;
+      listeners_open := []
+    end;
+    let read_fds =
+      !listeners_open
+      @ List.filter_map
+          (fun c -> if c.closing || c.eof then None else Some c.fd)
+          !conns
+    in
+    let write_fds =
+      List.filter_map
+        (fun c -> if Queue.is_empty c.out then None else Some c.fd)
+        !conns
+    in
+    (* Drain mode polls fast: the loop only has to pick up what is
+       already buffered in the kernel and flush what it owes. *)
+    let timeout = if !draining then 0.01 else poll_interval in
+    let r, w, _ =
+      try Unix.select read_fds write_fds [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter (fun lfd -> if List.mem lfd r then do_accept lfd) !listeners_open;
+    List.iter (fun c -> if List.mem c.fd r then handle_readable c) !conns;
+    (* Execute the whole batch before the next read sweep. *)
+    while not (Queue.is_empty queue) do
+      let c, json = Queue.pop queue in
+      (* Test hook: an artificial per-request stall, so the busy-path
+         tests can deterministically pile frames up behind a slow
+         execution. *)
+      (match throttle_ms with
+      | Some ms -> Unix.sleepf (ms /. 1000.)
+      | None -> ());
+      incr served;
+      Telemetry.Counter.incr c_requests;
+      match Telemetry.span "serve.request" (fun () -> handlers.on_request json)
+      with
+      | Reply j -> enqueue_out c j
+      | Final j ->
+          enqueue_out c j;
+          Atomic.set drain true
+    done;
+    List.iter (fun c -> if List.mem c.fd w then handle_writable c) !conns;
+    List.iter
+      (fun c ->
+        if (c.closing || c.eof) && Queue.is_empty c.out && not (conn_queued c)
+        then close_conn c)
+      !conns;
+    if
+      !draining && r = [] && w = []
+      && Queue.is_empty queue
+      && List.for_all (fun c -> Queue.is_empty c.out) !conns
+    then running := false
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  conns := [];
+  {
+    served = !served;
+    busy = !busy;
+    malformed = !malformed;
+    connections = !connections;
+  }

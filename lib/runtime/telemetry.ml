@@ -109,12 +109,19 @@ module Json = struct
 
   exception Parse_error of string
 
+  let default_max_depth = 512
+
   (* A small strict recursive-descent parser — enough to round-trip the
      emitter's output and validate trace files in tests (CI uses jq).
      Numbers with '.', 'e' or 'E' parse as [Float], others as [Int]
      (falling back to [Float] on overflow). [\uXXXX] escapes decode to
-     UTF-8, pairing surrogates. *)
-  let of_string s =
+     UTF-8, pairing surrogates. Container nesting is bounded by
+     [max_depth]: recursion depth tracks input nesting one-to-one, so
+     without the bound a hostile frame of [2^20] brackets overflows the
+     stack of whatever long-lived process (the serve daemon) parses it.
+     Over-deep input fails with the same clean [Parse_error] as any
+     other malformed frame. *)
+  let of_string ?(max_depth = default_max_depth) s =
     let n = String.length s in
     let pos = ref 0 in
     let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
@@ -236,7 +243,9 @@ module Json = struct
             | Some f -> Float f
             | None -> fail "bad number")
     in
-    let rec parse_value () =
+    let rec parse_value depth =
+      if depth > max_depth then
+        fail (Printf.sprintf "nesting deeper than %d" max_depth);
       skip_ws ();
       match peek () with
       | Some '"' -> String (parse_string ())
@@ -254,7 +263,7 @@ module Json = struct
               let k = parse_string () in
               skip_ws ();
               expect ':';
-              let v = parse_value () in
+              let v = parse_value (depth + 1) in
               fields := (k, v) :: !fields;
               skip_ws ();
               match peek () with
@@ -277,7 +286,7 @@ module Json = struct
           else begin
             let items = ref [] in
             let rec elements () =
-              let v = parse_value () in
+              let v = parse_value (depth + 1) in
               items := v :: !items;
               skip_ws ();
               match peek () with
@@ -297,7 +306,7 @@ module Json = struct
       | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
       | None -> fail "unexpected end of input"
     in
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

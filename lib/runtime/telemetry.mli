@@ -43,10 +43,20 @@ module Json : sig
 
   exception Parse_error of string
 
-  val of_string : string -> t
+  val default_max_depth : int
+  (** The default nesting bound of {!of_string}: 512. *)
+
+  val of_string : ?max_depth:int -> string -> t
   (** Strict parse of one JSON value; raises {!Parse_error} on anything
       else (including trailing input). [of_string (to_string v) = v]
-      for values without non-finite floats. *)
+      for values without non-finite floats.
+
+      [max_depth] (default {!default_max_depth}) bounds container
+      nesting: input nested deeper raises {!Parse_error} instead of
+      recursing — a frame of brackets from a hostile socket peer must
+      produce a clean parse error, never a stack overflow. The length
+      of the input is bounded by the caller (the wire protocol's
+      [max_frame]); this parser only has to stay shallow. *)
 
   val member : string -> t -> t option
   (** [member k (Obj fields)] is the first binding of [k], if any. *)

@@ -1,0 +1,656 @@
+(* The decision service: wire protocol round-trips, incremental frame
+   decoding and its two-tier failure taxonomy, the JSON parser's depth
+   bound, capacity-bounded memo eviction, environment validation, and
+   end-to-end daemon behaviour — concurrent clients with distinct
+   per-request configs answered byte-identically to one-shot runs,
+   cross-request memo hits, busy backpressure, malformed-frame
+   survival and graceful drain. *)
+
+open Locald_runtime
+open Locald_core
+module Backend = Locald_local.Backend
+module Json = Telemetry.Json
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let request_gen =
+  let open QCheck.Gen in
+  let op = oneofl [ Proto.Decide; Proto.Certify; Proto.Metrics; Proto.Ping ] in
+  let small_string = string_size ~gen:printable (int_range 0 12) in
+  let config =
+    map
+      (fun (backend, seed, fifo, memo, jobs) ->
+        {
+          Proto.c_backend = backend;
+          c_sched_seed = seed;
+          c_fifo = fifo;
+          c_memo = memo;
+          c_jobs = jobs;
+        })
+      (tup5
+         (opt (oneofl [ "sync"; "async" ]))
+         (opt (int_range 0 1000))
+         (opt bool)
+         (opt (oneofl [ "off"; "exact"; "order" ]))
+         (opt (int_range 1 8)))
+  in
+  map
+    (fun (id, op, workload, lo, hi, config) ->
+      { Proto.r_id = id; r_op = op; r_workload = workload; r_lo = lo;
+        r_hi = hi; r_config = config })
+    (tup6 (int_range 0 10000) op (opt small_string) (opt (int_range 0 99999))
+       (opt (int_range 0 99999))
+       config)
+
+let request_roundtrips =
+  QCheck.Test.make ~name:"proto: request round-trips through JSON" ~count:500
+    (QCheck.make request_gen) (fun req ->
+      match Proto.request_of_json (Proto.request_to_json req) with
+      | Ok req' -> req' = req
+      | Error msg -> QCheck.Test.fail_reportf "rejected own encoding: %s" msg)
+
+let test_request_rejects_ill_typed () =
+  let reject json msg =
+    match Proto.request_of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" msg
+  in
+  reject (Json.Obj [ ("op", Json.String "decide") ]) "a request without an id";
+  reject
+    (Json.Obj [ ("id", Json.String "7"); ("op", Json.String "decide") ])
+    "a string where the id belongs";
+  reject
+    (Json.Obj [ ("id", Json.Int 1); ("op", Json.String "decode") ])
+    "an unknown op";
+  reject
+    (Json.Obj
+       [ ("id", Json.Int 1); ("op", Json.String "decide");
+         ("jobs", Json.String "4") ])
+    "a string where the job count belongs";
+  (* Unknown fields are tolerated: old daemons must survive newer
+     clients. *)
+  match
+    Proto.request_of_json
+      (Json.Obj
+         [ ("id", Json.Int 1); ("op", Json.String "ping");
+           ("novel_field", Json.Bool true) ])
+  with
+  | Ok req -> check int "id" 1 req.Proto.r_id
+  | Error msg -> Alcotest.failf "rejected unknown field: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoding                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_decoder_byte_by_byte () =
+  let msgs =
+    [ Json.Obj [ ("id", Json.Int 1) ]; Json.String "x"; Json.Int 42 ]
+  in
+  let wire = Bytes.concat Bytes.empty (List.map Proto.encode_frame msgs) in
+  let d = Proto.decoder () in
+  let out = ref [] in
+  Bytes.iteri
+    (fun i _ ->
+      Proto.feed d wire i 1;
+      let rec drain () =
+        match Proto.next d with
+        | Some (Proto.Frame j) ->
+            out := j :: !out;
+            drain ()
+        | Some _ -> Alcotest.fail "spurious decode failure"
+        | None -> ()
+      in
+      drain ())
+    wire;
+  check int "all frames decoded" (List.length msgs) (List.length !out);
+  List.iter2
+    (fun a b -> check string "frame" (Json.to_string a) (Json.to_string b))
+    msgs (List.rev !out)
+
+let test_decoder_garbage_keeps_stream () =
+  let d = Proto.decoder () in
+  let bad = Bytes.of_string "not json" in
+  let frame = Bytes.create (4 + Bytes.length bad) in
+  Bytes.set_int32_be frame 0 (Int32.of_int (Bytes.length bad));
+  Bytes.blit bad 0 frame 4 (Bytes.length bad);
+  Proto.feed d frame 0 (Bytes.length frame);
+  (match Proto.next d with
+  | Some (Proto.Garbage _) -> ()
+  | _ -> Alcotest.fail "unparseable payload should be Garbage");
+  (* The stream survives: the next well-formed frame decodes. *)
+  let good = Proto.encode_frame (Json.Int 7) in
+  Proto.feed d good 0 (Bytes.length good);
+  match Proto.next d with
+  | Some (Proto.Frame (Json.Int 7)) -> ()
+  | _ -> Alcotest.fail "stream should survive a garbage payload"
+
+let test_decoder_oversized_is_sticky_corrupt () =
+  let d = Proto.decoder ~max_frame:64 () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 1000l;
+  Proto.feed d b 0 4;
+  (match Proto.next d with
+  | Some (Proto.Corrupt _) -> ()
+  | _ -> Alcotest.fail "oversized length prefix should be Corrupt");
+  (* Sticky: framing is lost for good, later feeds cannot resync. *)
+  let good = Proto.encode_frame (Json.Int 7) in
+  Proto.feed d good 0 (Bytes.length good);
+  match Proto.next d with
+  | Some (Proto.Corrupt _) -> ()
+  | _ -> Alcotest.fail "Corrupt must be sticky"
+
+(* ------------------------------------------------------------------ *)
+(* The JSON depth bound                                                *)
+(* ------------------------------------------------------------------ *)
+
+let nested depth = String.make depth '[' ^ "1" ^ String.make depth ']'
+
+let test_json_depth_bound () =
+  (* Within the bound: parses. *)
+  (match Json.of_string (nested 100) with
+  | Json.List _ -> ()
+  | _ -> Alcotest.fail "nested list should parse");
+  (* A hostile frame nested far past the bound must raise a clean
+     parse error, not overflow the stack (the pre-fix behaviour killed
+     the whole daemon). *)
+  (match Json.of_string (nested (Json.default_max_depth + 10)) with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "hostile nesting should be a Parse_error");
+  (* And the bound is adjustable for callers that want it tighter. *)
+  match Json.of_string ~max_depth:8 (nested 20) with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "explicit max_depth should bind"
+
+(* ------------------------------------------------------------------ *)
+(* Memo capacity eviction                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_capacity_bounds_size () =
+  (* Plain int keys, not decorated balls — the raw key functions are
+     fine here. *)
+  let m =
+    (* int keys: *) Memo.create ~shards:1 ~capacity:8 (* locald-lint: allow *)
+      ~hash:Hashtbl.hash ~equal:Int.equal ()
+  in
+  for k = 0 to 99 do
+    check int "computes through" (k * k)
+      (Memo.find_or_compute m k (fun () -> k * k))
+  done;
+  if Memo.size m > 8 then
+    Alcotest.failf "size %d exceeds capacity 8" (Memo.size m);
+  if Memo.evictions m <= 0 then Alcotest.fail "expected evictions";
+  (* Transparency: evicted keys recompute to the same values. *)
+  for k = 0 to 99 do
+    check int "recomputes transparently" (k * k)
+      (Memo.find_or_compute m k (fun () -> k * k))
+  done;
+  if Memo.size m > 8 then
+    Alcotest.failf "size %d exceeds capacity 8 after reuse" (Memo.size m)
+
+let test_memo_unbounded_without_capacity () =
+  let m =
+    (* int keys: *) Memo.create ~shards:1 (* locald-lint: allow *)
+      ~hash:Hashtbl.hash ~equal:Int.equal ()
+  in
+  for k = 0 to 99 do
+    ignore (Memo.find_or_compute m k (fun () -> k))
+  done;
+  check int "all keys live" 100 (Memo.size m);
+  check int "no evictions" 0 (Memo.evictions m)
+
+(* ------------------------------------------------------------------ *)
+(* Environment validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The empty string counts as unset, so putenv "" restores the
+   pristine state without needing unsetenv. *)
+let with_env var value f =
+  let old = Option.value (Sys.getenv_opt var) ~default:"" in
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var old) f
+
+let test_env_problems_reject_typos () =
+  with_env "LOCALD_BACKEND" "asink" (fun () ->
+      match Backend.env_problems () with
+      | [] -> Alcotest.fail "typo'd LOCALD_BACKEND should be a problem"
+      | _ -> ());
+  with_env "LOCALD_SCHED_SEED" "seven" (fun () ->
+      match Backend.env_problems () with
+      | [] -> Alcotest.fail "non-numeric LOCALD_SCHED_SEED should be a problem"
+      | _ -> ());
+  with_env "LOCALD_MEMO" "sometimes" (fun () ->
+      match Memo.env_problems () with
+      | [] -> Alcotest.fail "unknown LOCALD_MEMO should be a problem"
+      | _ -> ());
+  check bool "clean environment has no problems" true
+    (Service.env_problems () = [])
+
+(* ------------------------------------------------------------------ *)
+(* The daemon, end to end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let socket_counter = ref 0
+
+(* An in-process daemon on a private socket: the server loop runs on a
+   posix thread (requests still fan out over the domain pool), the
+   test body plays client, and the finaliser drains and joins so every
+   test ends with the loop's stats in hand. *)
+let with_server ?max_inflight ?max_frame ?throttle_ms ?max_engines f =
+  incr socket_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "locald-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+  in
+  let drain = Atomic.make false in
+  let svc = Service.create ?max_engines () in
+  let listener = Serve.listener_unix path in
+  let stats = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        stats :=
+          Some
+            (Serve.run ?max_inflight ?max_frame ?throttle_ms ~drain
+               ~listeners:[ listener ] ~handlers:(Service.handlers svc) ()))
+      ()
+  in
+  let finish () =
+    Atomic.set drain true;
+    Thread.join th;
+    (try Sys.remove path with Sys_error _ -> ())
+  in
+  let result = Fun.protect ~finally:finish (fun () -> f path drain) in
+  match !stats with
+  | Some s -> (result, s)
+  | None -> Alcotest.fail "server loop died without returning stats"
+
+let rpc fd req =
+  Proto.write_frame fd (Proto.request_to_json req);
+  match Proto.read_frame fd with
+  | Some json -> json
+  | None -> Alcotest.fail "connection closed without a response"
+
+let result_digest json =
+  let v = Proto.response_view json in
+  if not v.Proto.v_ok then
+    Alcotest.failf "expected ok response, got %s" (Json.to_string json);
+  match v.Proto.v_result with
+  | Some (Json.Obj kvs) -> (
+      match List.assoc_opt "digest" kvs with
+      | Some (Json.String d) -> d
+      | _ -> Alcotest.fail "response carries no digest")
+  | _ -> Alcotest.fail "response carries no result object"
+
+let metrics_counter fd name =
+  let json = rpc fd (Proto.request ~id:999 Proto.Metrics) in
+  let v = Proto.response_view json in
+  match v.Proto.v_result with
+  | Some result -> (
+      match
+        Option.bind
+          (match result with
+          | Json.Obj kvs -> List.assoc_opt "counters" kvs
+          | _ -> None)
+          (function
+            | Json.Obj kvs -> List.assoc_opt name kvs
+            | _ -> None)
+      with
+      | Some (Json.Int n) -> n
+      | _ -> Alcotest.failf "no %S counter in metrics" name)
+  | None -> Alcotest.fail "metrics response carries no result"
+
+let oneshot_digest ?backend name =
+  let w = Option.get (Sweeps.find name) in
+  Sweeps.digest (w.Sweeps.w_unsharded ?backend ())
+
+let test_decide_matches_oneshot_and_memoises () =
+  let (d1, d2, hits1, hits2), _stats =
+    with_server (fun path _drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let req = Proto.request ~workload:"exhaustive-decider" ~id:5
+                Proto.Decide in
+            let r1 = rpc fd req in
+            let hits1 = metrics_counter fd "memo.hits" in
+            let r2 = rpc fd req in
+            let hits2 = metrics_counter fd "memo.hits" in
+            (* The repeated request is byte-identical, not merely
+               digest-equal: responses carry no timestamps. *)
+            check string "responses byte-identical" (Json.to_string r1)
+              (Json.to_string r2);
+            (result_digest r1, result_digest r2, hits1, hits2)))
+  in
+  check string "daemon digest = one-shot digest"
+    (oneshot_digest "exhaustive-decider") d1;
+  check string "repeat digest" d1 d2;
+  (* The warm engine answers the second request from its memo table. *)
+  if hits2 <= hits1 then
+    Alcotest.failf "no cross-request memo hits (%d -> %d)" hits1 hits2
+
+let test_concurrent_clients_distinct_configs () =
+  let async_backend seed =
+    Backend.Async { Locald_local.Async_runner.sched_seed = seed; fifo = false }
+  in
+  let (sync_ds, async_ds), stats =
+    with_server (fun path _drain ->
+        let a = Proto.connect_unix path in
+        let b = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close a;
+            Unix.close b)
+          (fun () ->
+            let sync_req id =
+              Proto.request ~workload:"exhaustive-decider" ~id Proto.Decide
+            in
+            let async_req id =
+              Proto.request ~workload:"exhaustive-decider"
+                ~config:
+                  {
+                    Proto.no_config with
+                    Proto.c_backend = Some "async";
+                    c_sched_seed = Some 3;
+                  }
+                ~id Proto.Decide
+            in
+            (* Interleave: client a speaks sync, client b async-seed-3,
+               strictly alternating on the same workload — the server
+               must thread each request's config without leaking either
+               into the other (or into the process globals). *)
+            let sync_ds = ref [] and async_ds = ref [] in
+            for i = 1 to 3 do
+              sync_ds := result_digest (rpc a (sync_req i)) :: !sync_ds;
+              async_ds := result_digest (rpc b (async_req (100 + i))) :: !async_ds
+            done;
+            (!sync_ds, !async_ds)))
+  in
+  let sync_expect = oneshot_digest "exhaustive-decider" in
+  let async_expect =
+    oneshot_digest ~backend:(async_backend 3) "exhaustive-decider"
+  in
+  List.iter (fun d -> check string "sync client" sync_expect d) sync_ds;
+  List.iter (fun d -> check string "async client" async_expect d) async_ds;
+  check int "all requests served" 6 stats.Serve.served;
+  check int "two connections" 2 stats.Serve.connections;
+  (* The globals were never touched. *)
+  check bool "default backend untouched" true (Backend.default () = Backend.Sync)
+
+let test_per_request_config_rejected_not_coerced () =
+  let (), _stats =
+    with_server (fun path _drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let expect_error req msg =
+              let v = Proto.response_view (rpc fd req) in
+              if v.Proto.v_ok then Alcotest.failf "accepted %s" msg;
+              if v.Proto.v_error = None then
+                Alcotest.failf "no error text for %s" msg
+            in
+            expect_error
+              (Proto.request
+                 ~config:{ Proto.no_config with Proto.c_backend = Some "asink" }
+                 ~id:1 Proto.Decide)
+              "an unknown backend name";
+            expect_error
+              (Proto.request
+                 ~config:{ Proto.no_config with Proto.c_memo = Some "maybe" }
+                 ~id:2 Proto.Decide)
+              "an unknown memo mode";
+            expect_error
+              (Proto.request ~workload:"no-such-sweep" ~id:3 Proto.Decide)
+              "an unknown workload";
+            expect_error
+              (Proto.request ~workload:"exhaustive-decider" ~lo:0 ~hi:999999999
+                 ~id:4 Proto.Decide)
+              "an out-of-range hi";
+            expect_error
+              (Proto.request
+                 ~config:
+                   {
+                     Proto.no_config with
+                     Proto.c_backend = Some "sync";
+                     c_sched_seed = Some 3;
+                   }
+                 ~id:5 Proto.Decide)
+              "a sync backend with an async seed"))
+  in
+  ()
+
+let test_busy_backpressure () =
+  let replies, stats =
+    with_server ~max_inflight:1 (fun path _drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            (* Four pings in one write: the read sweep decodes all four
+               before anything executes, so with max_inflight = 1 the
+               first occupies the queue and the rest bounce busy —
+               deterministically, no timing involved. *)
+            let frames =
+              List.map
+                (fun id ->
+                  Proto.encode_frame
+                    (Proto.request_to_json (Proto.request ~id Proto.Ping)))
+                [ 1; 2; 3; 4 ]
+            in
+            let wire = Bytes.concat Bytes.empty frames in
+            let n = Unix.write fd wire 0 (Bytes.length wire) in
+            check int "single write" (Bytes.length wire) n;
+            List.init 4 (fun _ ->
+                match Proto.read_frame fd with
+                | Some json -> Proto.response_view json
+                | None -> Alcotest.fail "connection closed early")))
+  in
+  let busy, ok = List.partition (fun v -> v.Proto.v_busy) replies in
+  check int "three bounced busy" 3 (List.length busy);
+  check int "one served" 1 (List.length ok);
+  check bool "served reply is the first id" true
+    (List.for_all (fun v -> v.Proto.v_id = Some 1) ok);
+  check int "stats.busy" 3 stats.Serve.busy;
+  check int "stats.served" 1 stats.Serve.served
+
+let test_malformed_frame_survival () =
+  let (), stats =
+    with_server (fun path _drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            (* A well-framed unparseable payload: error reply, and the
+               connection keeps working. *)
+            let bad = "{{{{" in
+            let frame = Bytes.create (4 + String.length bad) in
+            Bytes.set_int32_be frame 0 (Int32.of_int (String.length bad));
+            Bytes.blit_string bad 0 frame 4 (String.length bad);
+            ignore (Unix.write fd frame 0 (Bytes.length frame));
+            (match Proto.read_frame fd with
+            | Some json ->
+                let v = Proto.response_view json in
+                check bool "error reply" false v.Proto.v_ok
+            | None -> Alcotest.fail "daemon dropped the connection");
+            (* The daemon did not die and the stream still works. *)
+            let v = Proto.response_view (rpc fd (Proto.request ~id:9 Proto.Ping)) in
+            check bool "follow-up ok" true v.Proto.v_ok))
+  in
+  check int "one malformed frame counted" 1 stats.Serve.malformed
+
+let test_corrupt_framing_closes_connection () =
+  let (), stats =
+    with_server ~max_frame:1024 (fun path _drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let b = Bytes.create 4 in
+            Bytes.set_int32_be b 0 100000l;
+            ignore (Unix.write fd b 0 4);
+            (match Proto.read_frame fd with
+            | Some json ->
+                let v = Proto.response_view json in
+                check bool "error reply" false v.Proto.v_ok
+            | None -> Alcotest.fail "expected an error reply before close");
+            (* Framing is lost: the daemon closes this connection. *)
+            match Proto.read_frame fd with
+            | None -> ()
+            | Some _ -> Alcotest.fail "corrupt connection should close"))
+  in
+  check int "one corrupt frame counted" 1 stats.Serve.malformed
+
+let test_drain_delivers_inflight () =
+  let views, stats =
+    with_server (fun path drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            (* Make sure the connection is accepted before the drain
+               flips — a connection still in the listen backlog when
+               the listeners close is (correctly) lost, and that is
+               not what this test is about. *)
+            let v = Proto.response_view (rpc fd (Proto.request ~id:0 Proto.Ping)) in
+            check bool "warm-up ping" true v.Proto.v_ok;
+            (* Two requests are on the wire when the drain flag flips —
+               the graceful-shutdown contract says both answers still
+               arrive, then EOF. This is what the PR-6 signal handlers
+               (flush and re-deliver) got wrong: they killed the
+               process with these responses unsent. *)
+            let frames =
+              List.map
+                (fun id ->
+                  Proto.encode_frame
+                    (Proto.request_to_json (Proto.request ~id Proto.Ping)))
+                [ 1; 2 ]
+            in
+            let wire = Bytes.concat Bytes.empty frames in
+            ignore (Unix.write fd wire 0 (Bytes.length wire));
+            Atomic.set drain true;
+            let r1 = Proto.read_frame fd in
+            let r2 = Proto.read_frame fd in
+            let eof = Proto.read_frame fd in
+            check bool "EOF after the drain" true (eof = None);
+            List.filter_map (Option.map Proto.response_view) [ r1; r2 ]))
+  in
+  check int "both in-flight responses delivered" 2 (List.length views);
+  List.iter (fun v -> check bool "ok" true v.Proto.v_ok) views;
+  check int "ping plus both served" 3 stats.Serve.served
+
+let test_shutdown_request_drains () =
+  let (), stats =
+    with_server (fun path _drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let json = rpc fd (Proto.request ~id:1 Proto.Shutdown) in
+            let v = Proto.response_view json in
+            check bool "shutdown acknowledged" true v.Proto.v_ok;
+            (* The daemon answers, drains and closes — without the test
+               touching the drain flag. *)
+            match Proto.read_frame fd with
+            | None -> ()
+            | Some _ -> Alcotest.fail "expected EOF after shutdown"))
+  in
+  check int "shutdown served" 1 stats.Serve.served
+
+let test_engine_cache_evicts_lru () =
+  let (builds, evictions), _stats =
+    with_server ~max_engines:2 (fun path _drain ->
+        let fd = Proto.connect_unix path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let builds0 = metrics_counter fd "serve.engine_builds" in
+            let evict0 = metrics_counter fd "serve.engine_evictions" in
+            let decide seed =
+              let config =
+                match seed with
+                | None -> Proto.no_config
+                | Some s ->
+                    {
+                      Proto.no_config with
+                      Proto.c_backend = Some "async";
+                      c_sched_seed = Some s;
+                    }
+              in
+              ignore
+                (result_digest
+                   (rpc fd
+                      (Proto.request ~workload:"exhaustive-decider" ~config
+                         ~id:1 Proto.Decide)))
+            in
+            (* Three distinct configs through a 2-engine cache, then
+               the first again: four builds, at least one eviction. *)
+            decide None;
+            decide (Some 1);
+            decide (Some 2);
+            decide None;
+            ( metrics_counter fd "serve.engine_builds" - builds0,
+              metrics_counter fd "serve.engine_evictions" - evict0 )))
+  in
+  check int "four engine builds" 4 builds;
+  check bool "evictions happened" true (evictions >= 1)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "proto",
+        [
+          QCheck_alcotest.to_alcotest request_roundtrips;
+          Alcotest.test_case "ill-typed requests rejected" `Quick
+            test_request_rejects_ill_typed;
+          Alcotest.test_case "decoder survives byte-by-byte feeds" `Quick
+            test_decoder_byte_by_byte;
+          Alcotest.test_case "garbage payload keeps the stream" `Quick
+            test_decoder_garbage_keeps_stream;
+          Alcotest.test_case "oversized frame is sticky corrupt" `Quick
+            test_decoder_oversized_is_sticky_corrupt;
+          Alcotest.test_case "JSON nesting depth is bounded" `Quick
+            test_json_depth_bound;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "capacity bounds live entries" `Quick
+            test_memo_capacity_bounds_size;
+          Alcotest.test_case "unbounded without capacity" `Quick
+            test_memo_unbounded_without_capacity;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "typo'd variables are problems" `Quick
+            test_env_problems_reject_typos;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "decide matches one-shot, memoises" `Slow
+            test_decide_matches_oneshot_and_memoises;
+          Alcotest.test_case "concurrent clients, distinct configs" `Slow
+            test_concurrent_clients_distinct_configs;
+          Alcotest.test_case "bad per-request config rejected" `Quick
+            test_per_request_config_rejected_not_coerced;
+          Alcotest.test_case "inflight bound bounces busy" `Quick
+            test_busy_backpressure;
+          Alcotest.test_case "malformed frame survival" `Quick
+            test_malformed_frame_survival;
+          Alcotest.test_case "corrupt framing closes connection" `Quick
+            test_corrupt_framing_closes_connection;
+          Alcotest.test_case "drain delivers in-flight responses" `Quick
+            test_drain_delivers_inflight;
+          Alcotest.test_case "shutdown request drains" `Quick
+            test_shutdown_request_drains;
+          Alcotest.test_case "engine cache evicts LRU" `Slow
+            test_engine_cache_evicts_lru;
+        ] );
+    ]
